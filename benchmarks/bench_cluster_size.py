@@ -1,0 +1,83 @@
+"""Sensitivity ablation: cluster size n in the cost model (Table I).
+
+The broadcast transfer term scales with n while repartition does not,
+so the broadcast/repartition preference must flip as the cluster grows.
+This bench sweeps n and reports, for a fixed workload, the share of
+broadcast joins in TD-CMD's optimal plans and their costs — a
+sanity-check on the cost model's structure the paper takes as given.
+"""
+
+import random
+
+import pytest
+
+from repro.core import CostParameters, TopDownEnumerator
+from repro.core.optimizer import make_builder
+from repro.core.plans import JoinAlgorithm
+from repro.experiments.tables import render_table, write_report
+from repro.workloads.generators import tree_query
+
+CLUSTER_SIZES = (2, 5, 10, 25, 50)
+
+
+def _broadcast_share(cluster_size: int, queries: int = 8) -> tuple:
+    broadcast = 0
+    total = 0
+    cost_sum = 0.0
+    for seed in range(queries):
+        query = tree_query(8, random.Random(seed))
+        builder = make_builder(
+            query, seed=seed, parameters=CostParameters(cluster_size=cluster_size)
+        )
+        result = TopDownEnumerator(builder.join_graph, builder).optimize()
+        cost_sum += result.cost
+        for join in result.plan.joins():
+            total += 1
+            if join.algorithm is JoinAlgorithm.BROADCAST:
+                broadcast += 1
+    return broadcast / max(total, 1), cost_sum / queries
+
+
+@pytest.mark.parametrize("cluster_size", CLUSTER_SIZES)
+def test_optimize_at_cluster_size(benchmark, cluster_size):
+    query = tree_query(8, random.Random(1))
+    builder = make_builder(
+        query, seed=1, parameters=CostParameters(cluster_size=cluster_size)
+    )
+    result = benchmark.pedantic(
+        lambda: TopDownEnumerator(builder.join_graph, builder).optimize(),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.cost > 0
+
+
+def test_broadcast_share_decreases_with_cluster_size():
+    """More workers make broadcasting k−1 inputs proportionally costlier."""
+    small_share, _ = _broadcast_share(2)
+    large_share, _ = _broadcast_share(50)
+    assert large_share <= small_share
+
+
+@pytest.mark.report
+def test_cluster_size_report(benchmark):
+    def build_report():
+        rows = []
+        for n in CLUSTER_SIZES:
+            share, avg_cost = _broadcast_share(n)
+            rows.append([str(n), f"{share * 100:.0f}%", f"{avg_cost:.1f}"])
+        return render_table(
+            "Ablation — cost-model cluster size n (Table I sensitivity)",
+            ["n", "Broadcast joins in optimal plans", "Avg plan cost"],
+            rows,
+            note=(
+                "Broadcast transfer scales with n (β_B·(Σ−max)·n); repartition "
+                "does not — the optimizer must shift toward repartition as n "
+                "grows and plan costs must rise monotonically."
+            ),
+        )
+
+    content = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    write_report("ablation_cluster_size.txt", content)
+    print()
+    print(content)

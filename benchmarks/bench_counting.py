@@ -1,0 +1,59 @@
+"""Enumeration micro-benchmarks: amortized cost per cmd (Lemma 3).
+
+The paper's efficiency claim is a *linear* amortized cost per
+enumerated cmd in |V_T|.  These benchmarks measure cmds/second at
+growing sizes and check the closed forms at sizes beyond the unit-test
+range.
+"""
+
+import pytest
+
+from repro.core import JoinGraph
+from repro.core.cmd import enumerate_cmds
+from repro.core.counting import count_cmds, measured_t, t_chain, t_cycle
+from repro.workloads.generators import chain_query, cycle_query, star_query
+
+
+@pytest.mark.parametrize("size", [8, 16, 30])
+def test_enumerate_cmds_chain(benchmark, size):
+    join_graph = JoinGraph(chain_query(size))
+    count = benchmark(lambda: sum(1 for _ in enumerate_cmds(join_graph, join_graph.full)))
+    # D_cmd(chain-n) = n - 1 binary splits... plus larger multiway; must
+    # at least cover the n-1 binary divisions
+    assert count >= size - 1
+
+
+@pytest.mark.parametrize("size", [8, 12])
+def test_enumerate_cmds_star(benchmark, size):
+    join_graph = JoinGraph(star_query(size))
+    from repro.core.counting import bell_number
+
+    count = benchmark(lambda: sum(1 for _ in enumerate_cmds(join_graph, join_graph.full)))
+    assert count == bell_number(size) - 1
+
+
+@pytest.mark.parametrize("size", [10, 12])
+def test_measured_t_matches_formula_larger_sizes(benchmark, size):
+    """Eq. 8/9 at sizes beyond the unit tests (slower, bench-only)."""
+    chain_graph = JoinGraph(chain_query(size))
+    measured = benchmark.pedantic(measured_t, args=(chain_graph,), rounds=1)
+    assert measured == t_chain(size)
+    assert measured_t(JoinGraph(cycle_query(size))) == t_cycle(size)
+
+
+def test_amortized_cost_scales_linearly(benchmark):
+    """cmds/sec at n=24 vs n=12 on chains: ratio bounded, not exponential."""
+    import time
+
+    def throughput(n):
+        jg = JoinGraph(chain_query(n))
+        start = time.perf_counter()
+        count = sum(1 for _ in enumerate_cmds(jg, jg.full))
+        elapsed = time.perf_counter() - start
+        return elapsed / count  # seconds per cmd
+
+    per_cmd_12 = throughput(12)
+    per_cmd_24 = benchmark.pedantic(throughput, args=(24,), rounds=1)
+    # Lemma 3: Θ(|V_T|) per cmd -> doubling n should scale per-cmd cost
+    # roughly linearly (allow generous constant-factor noise)
+    assert per_cmd_24 < per_cmd_12 * 10

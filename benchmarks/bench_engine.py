@@ -1,0 +1,81 @@
+"""Engine micro-benchmarks: scan, hash join, and distributed operators.
+
+Not a paper table — substrate health checks, so regressions in the
+simulated engine show up next to the optimizer benchmarks.
+"""
+
+import random
+
+import pytest
+
+from repro.core import StatisticsCatalog, optimize
+from repro.engine import Cluster, Executor, evaluate_reference
+from repro.engine.relations import Relation, hash_join, scan_pattern
+from repro.partitioning import HashSubjectObject
+from repro.rdf import Dataset, IRI, triple
+from repro.rdf.terms import Variable
+from repro.sparql.ast import TriplePattern
+from repro.sparql.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def big_dataset():
+    rng = random.Random(123)
+    triples = []
+    for _ in range(5000):
+        a, b = rng.randrange(800), rng.randrange(800)
+        triples.append(triple(f"http://e/n{a}", "http://e/knows", f"http://e/n{b}"))
+    for i in range(800):
+        triples.append(triple(f"http://e/n{i}", "http://e/worksFor", f"http://e/o{i % 20}"))
+    return Dataset.from_triples(triples, name="bench")
+
+
+def test_scan_throughput(benchmark, big_dataset):
+    tp = TriplePattern(Variable("x"), IRI("http://e/knows"), Variable("y"))
+    relation = benchmark(scan_pattern, big_dataset.graph, tp)
+    assert len(relation) > 4000
+
+
+def test_hash_join_throughput(benchmark, big_dataset):
+    knows = scan_pattern(
+        big_dataset.graph,
+        TriplePattern(Variable("x"), IRI("http://e/knows"), Variable("y")),
+    )
+    works = scan_pattern(
+        big_dataset.graph,
+        TriplePattern(Variable("y"), IRI("http://e/worksFor"), Variable("o")),
+    )
+    result = benchmark(hash_join, knows, works)
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("workers", [2, 8])
+def test_distributed_execution_throughput(benchmark, big_dataset, workers):
+    query = parse_query(
+        """
+        SELECT * WHERE {
+          ?x <http://e/knows> ?y .
+          ?y <http://e/worksFor> ?o .
+          ?x <http://e/worksFor> ?o .
+        }
+        """
+    )
+    method = HashSubjectObject()
+    statistics = StatisticsCatalog.from_dataset(query, big_dataset)
+    plan = optimize(query, statistics=statistics, partitioning=method).plan
+    cluster = Cluster.build(big_dataset, method, cluster_size=workers)
+    executor = Executor(cluster)
+
+    relation, _ = benchmark.pedantic(
+        lambda: executor.execute(plan, query), rounds=1, iterations=1
+    )
+    assert relation.rows == evaluate_reference(query, big_dataset.graph).rows
+
+
+def test_partitioning_throughput(benchmark, big_dataset):
+    partitioning = benchmark.pedantic(
+        lambda: HashSubjectObject().partition(big_dataset, 8),
+        rounds=1,
+        iterations=1,
+    )
+    assert partitioning.cluster_size == 8

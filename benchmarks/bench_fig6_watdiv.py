@@ -1,0 +1,42 @@
+"""Figure 6 — WatDiv-like stress test (optimization time + cost CDF).
+
+The report runs a scaled workload (default 24 templates × 2 instances;
+the paper used 124 × 100 — raise via the report arguments or run the
+module directly) and writes results/fig6_watdiv.txt.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments import fig6
+from repro.experiments.harness import run_algorithm
+from repro.workloads.watdiv import WatDivGenerator, instantiate
+
+
+@pytest.fixture(scope="module")
+def sample_instance():
+    template = WatDivGenerator(seed=5).templates(10)[4]
+    return instantiate(template, 0, random.Random(3))
+
+
+@pytest.mark.parametrize("algorithm", ["TD-CMD", "TD-CMDP", "TD-Auto", "DP-Bushy"])
+def test_watdiv_instance_optimization(benchmark, sample_instance, algorithm):
+    query, statistics = sample_instance
+
+    def run_once():
+        return run_algorithm(algorithm, query, statistics=statistics)
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    if result.timed_out:
+        pytest.skip(f"{algorithm} timed out")
+    assert result.cost is not None
+
+
+@pytest.mark.report
+def test_fig6_report(benchmark):
+    """Regenerate Figure 6 series and write results/fig6_watdiv.txt."""
+    content = benchmark.pedantic(fig6.report, rounds=1, iterations=1)
+    print()
+    print(content)
+    assert "Figure 6a" in content and "Figure 6b" in content

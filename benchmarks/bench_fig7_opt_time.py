@@ -1,0 +1,42 @@
+"""Figure 7 — optimization time vs. query size, per shape.
+
+The report sweeps sizes 2–14 by default (paper: 2–30 with a 600 s Java
+cutoff; pure Python needs a smaller default sweep — set sizes via
+``fig7.report(sizes=range(2, 31, 2))`` and a large ``REPRO_TIMEOUT`` to
+push further).  Micro-benchmarks pin one mid-size query per shape.
+"""
+
+import random
+
+import pytest
+
+from repro.core.join_graph import QueryShape
+from repro.experiments import fig7
+from repro.experiments.harness import FIGURE_SET, run_algorithm
+from repro.workloads.generators import generate_query
+
+SHAPES = [QueryShape.CHAIN, QueryShape.CYCLE, QueryShape.TREE, QueryShape.DENSE]
+
+
+@pytest.mark.parametrize("algorithm", FIGURE_SET)
+@pytest.mark.parametrize("shape", SHAPES)
+def test_optimization_time_size10(benchmark, algorithm, shape):
+    query = generate_query(shape, 10, random.Random(23))
+
+    def run_once():
+        return run_algorithm(algorithm, query, seed=23)
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    if result.timed_out:
+        pytest.skip(f"{algorithm} timed out on {shape.value}-10")
+    assert result.cost is not None
+
+
+@pytest.mark.report
+def test_fig7_report(benchmark):
+    """Regenerate Figure 7 series and write results/fig7_optimization_time.txt."""
+    content = benchmark.pedantic(fig7.report, rounds=1, iterations=1)
+    print()
+    print(content)
+    for shape in ("chain", "cycle", "tree", "dense"):
+        assert f"({shape})" in content

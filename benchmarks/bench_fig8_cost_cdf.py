@@ -1,0 +1,43 @@
+"""Figure 8 — cumulative distribution of plan cost normalized to TD-CMD."""
+
+import random
+
+import pytest
+
+from repro.core.join_graph import QueryShape
+from repro.experiments import fig8
+from repro.experiments.harness import run_algorithm
+from repro.workloads.generators import generate_query
+
+
+def test_heuristics_near_optimal_on_trees():
+    """Fig. 8c shape: TD-CMDP/TD-Auto at ratio ~1 on tree queries."""
+    for seed in range(3):
+        query = generate_query(QueryShape.TREE, 8, random.Random(seed))
+        reference = run_algorithm("TD-CMD", query, seed=seed)
+        for algorithm in ("TD-CMDP", "TD-Auto"):
+            result = run_algorithm(algorithm, query, seed=seed)
+            assert result.cost <= reference.cost * 2.0
+
+
+@pytest.mark.parametrize("shape", [QueryShape.TREE, QueryShape.DENSE])
+def test_ratio_computation(benchmark, shape):
+    query = generate_query(shape, 8, random.Random(5))
+
+    def ratios():
+        reference = run_algorithm("TD-CMD", query, seed=5)
+        result = run_algorithm("TD-CMDP", query, seed=5)
+        return result.cost / reference.cost
+
+    ratio = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    assert ratio >= 1.0 - 1e-9
+
+
+@pytest.mark.report
+def test_fig8_report(benchmark):
+    """Regenerate Figure 8 series and write results/fig8_cost_cdf.txt."""
+    content = benchmark.pedantic(fig8.report, rounds=1, iterations=1)
+    print()
+    print(content)
+    for shape in ("chain", "cycle", "tree", "dense"):
+        assert f"({shape})" in content

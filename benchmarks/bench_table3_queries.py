@@ -1,0 +1,32 @@
+"""Table III — benchmark-query inventory (types, sizes) + parser throughput."""
+
+import pytest
+
+from repro.core import JoinGraph
+from repro.experiments import table3
+from repro.workloads.lubm import _PREFIXES, _QUERY_TEXTS  # noqa: SLF001 (bench-only)
+from repro.sparql import parse_query
+
+
+@pytest.mark.report
+def test_table3_report(benchmark):
+    """Regenerate Table III and write results/table3_queries.txt."""
+    content = benchmark.pedantic(table3.report, rounds=1, iterations=1)
+    assert "L10" in content
+    print()
+    print(content)
+
+
+@pytest.mark.parametrize("name", ["L5", "L9", "L10"])
+def test_parse_benchmark_query(benchmark, name):
+    """SPARQL parsing throughput on the larger benchmark queries."""
+    text = _PREFIXES + _QUERY_TEXTS[name]
+    query = benchmark(parse_query, text, name)
+    assert len(query) >= 8
+
+
+def test_join_graph_construction(benchmark, bench_queries):
+    """Join-graph construction cost for the largest query (L10)."""
+    query = bench_queries["L10"].query
+    join_graph = benchmark(JoinGraph, query)
+    assert join_graph.size == 14

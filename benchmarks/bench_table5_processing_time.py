@@ -1,0 +1,70 @@
+"""Table V — query processing time on the simulated 10-worker cluster.
+
+Micro-benchmarks execute TD-Auto plans under each partitioning method
+(Hash-SO / 2f / Path-BMC); the report regenerates the full table with
+the MSC and DP-Bushy rows and verifies every executed result against
+the single-node reference evaluation.
+"""
+
+import pytest
+
+from repro.engine import Cluster, Executor, evaluate_reference
+from repro.experiments import table5
+from repro.experiments.harness import run_algorithm
+from repro.partitioning import HashSubjectObject, PathBMC, SemanticHash
+
+PARTITIONINGS = {
+    "Hash-SO": HashSubjectObject,
+    "2f": SemanticHash,
+    "Path-BMC": PathBMC,
+}
+
+#: a representative spread: star, chain, tree, dense
+MICRO_QUERIES = ("L1", "U2", "L5", "L8")
+
+
+@pytest.mark.parametrize("part_name", list(PARTITIONINGS))
+@pytest.mark.parametrize("query_name", MICRO_QUERIES)
+def test_execution_time(benchmark, bench_queries, part_name, query_name):
+    bench = bench_queries[query_name]
+    method = PARTITIONINGS[part_name]()
+    run = run_algorithm(
+        "TD-Auto",
+        bench.query,
+        statistics=bench.statistics,
+        partitioning=method,
+    )
+    assert not run.timed_out
+    cluster = Cluster.build(bench.dataset, method, cluster_size=10)
+    executor = Executor(cluster)
+    reference = evaluate_reference(bench.query, bench.dataset.graph)
+
+    relation, metrics = benchmark.pedantic(
+        lambda: executor.execute(run.result.plan, bench.query),
+        rounds=1,
+        iterations=1,
+    )
+    assert relation.rows == reference.rows
+    assert metrics.critical_path_cost >= 0
+
+
+def test_path_bmc_makes_queries_local(bench_queries):
+    """The Table V headline: under Path-BMC every acyclic benchmark
+    query is a local query, so TD-Auto plans ship zero tuples."""
+    bench = bench_queries["U2"]
+    method = PathBMC()
+    run = run_algorithm(
+        "TD-Auto", bench.query, statistics=bench.statistics, partitioning=method
+    )
+    cluster = Cluster.build(bench.dataset, method, cluster_size=10)
+    _, metrics = Executor(cluster).execute(run.result.plan, bench.query)
+    assert metrics.total_tuples_shipped == 0
+
+
+@pytest.mark.report
+def test_table5_report(benchmark):
+    """Regenerate Table V and write results/table5_processing_time.txt."""
+    content = benchmark.pedantic(table5.report, rounds=1, iterations=1)
+    print()
+    print(content)
+    assert "ALL RESULTS MATCH" in content

@@ -1,0 +1,50 @@
+"""Table VII — size of the search space (#plans considered).
+
+The report sweeps the paper's grid (chain/cycle/tree/dense × 8/16/30);
+entries whose run exceeds ``REPRO_TIMEOUT`` print N/A, as in the paper.
+Micro-benchmarks cover the size-8 column where every algorithm
+completes, plus the analytic T(Q) cross-check on the TD-CMD counters.
+"""
+
+import random
+
+import pytest
+
+from repro.core.counting import t_chain, t_cycle
+from repro.core.join_graph import QueryShape
+from repro.experiments import table7
+from repro.experiments.harness import FIGURE_SET, run_algorithm
+from repro.workloads.generators import generate_query
+
+
+@pytest.mark.parametrize("algorithm", FIGURE_SET)
+@pytest.mark.parametrize(
+    "shape", [QueryShape.CHAIN, QueryShape.CYCLE, QueryShape.TREE, QueryShape.DENSE]
+)
+def test_search_space_size8(benchmark, algorithm, shape):
+    query = generate_query(shape, 8, random.Random(11))
+
+    def run_once():
+        return run_algorithm(algorithm, query, seed=11)
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    if result.timed_out:
+        pytest.skip(f"{algorithm} timed out on {shape.value}-8")
+    assert result.plans_considered > 0
+
+
+def test_tdcmd_counters_equal_analytic_t():
+    """TD-CMD's division counter equals T(Q) on chains and cycles."""
+    for shape, formula in ((QueryShape.CHAIN, t_chain), (QueryShape.CYCLE, t_cycle)):
+        query = generate_query(shape, 8, random.Random(11))
+        result = run_algorithm("TD-CMD", query, seed=11)
+        assert result.result.stats.divisions_enumerated == formula(8)
+
+
+@pytest.mark.report
+def test_table7_report(benchmark):
+    """Regenerate Table VII and write results/table7_search_space.txt."""
+    content = benchmark.pedantic(table7.report, rounds=1, iterations=1)
+    print()
+    print(content)
+    assert "TD-CMD" in content

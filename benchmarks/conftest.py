@@ -1,0 +1,38 @@
+"""Benchmark configuration.
+
+Timeouts and workload scale are environment-tunable so the full bench
+suite stays laptop-friendly by default:
+
+* ``REPRO_TIMEOUT``      — per-optimizer-run timeout in seconds (default 15;
+  the paper used 600 s on Java)
+* ``REPRO_BENCH_SCALE``  — multiplies workload sizes where applicable
+
+Timed-out (algorithm, query) pairs are skipped with an explanatory
+message, matching how the paper reports N/A entries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.benchmark_queries import (
+    benchmark_queries,
+    ordered_benchmark_queries,
+)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "report: benchmark that regenerates a paper table/figure"
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_queries():
+    """The 15 benchmark queries with datasets and statistics (cached)."""
+    return benchmark_queries()
+
+
+@pytest.fixture(scope="session")
+def bench_query_list():
+    return ordered_benchmark_queries()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Large-query optimization: how the heuristics keep big queries tractable.
+
+Sweeps random tree and dense queries from 6 to 22 triple patterns and
+races TD-CMD (exhaustive) against TD-CMDP, HGR-TD-CMD, and TD-Auto,
+reporting optimization time, search-space size, and plan cost relative
+to the optimum — Figures 7/8 of the paper in miniature, plus the
+Figure 5 decision tree's choices made visible.
+
+Run:  python examples/large_query_optimization.py [--max-size 22] [--timeout 5]
+"""
+
+import argparse
+import random
+
+from repro.core import JoinGraph, choose_algorithm
+from repro.experiments.harness import run_algorithm
+from repro.workloads.generators import dense_query, tree_query
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-size", type=int, default=18)
+    parser.add_argument("--timeout", type=float, default=5.0)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    algorithms = ("TD-CMD", "TD-CMDP", "HGR-TD-CMD", "TD-Auto")
+    for label, build in (("tree", tree_query), ("dense", dense_query)):
+        print(f"\n=== {label} queries ===")
+        header = (
+            f"{'n':>3s} {'auto picks':12s} "
+            + " ".join(f"{a:>12s}" for a in algorithms)
+            + f" {'cost vs opt':>24s}"
+        )
+        print(header)
+        print("-" * len(header))
+        for size in range(6, args.max_size + 1, 4):
+            rng = random.Random(args.seed + size)
+            query = build(size, rng)
+            choice = choose_algorithm(JoinGraph(query))
+            runs = {}
+            for algorithm in algorithms:
+                runs[algorithm] = run_algorithm(
+                    algorithm, query, timeout_seconds=args.timeout, seed=args.seed
+                )
+            cells = []
+            for algorithm in algorithms:
+                run = runs[algorithm]
+                cells.append(
+                    f"{'>' + format(args.timeout, '.0f') + 's':>12s}"
+                    if run.timed_out
+                    else f"{run.elapsed_seconds * 1000:10.1f}ms"
+                )
+            optimum = runs["TD-CMD"]
+            if optimum.timed_out:
+                ratio_text = "opt timed out"
+            else:
+                ratios = []
+                for algorithm in ("TD-CMDP", "HGR-TD-CMD", "TD-Auto"):
+                    run = runs[algorithm]
+                    ratios.append(
+                        "-" if run.timed_out else f"{run.cost / optimum.cost:.2f}"
+                    )
+                ratio_text = "/".join(ratios)
+            print(
+                f"{size:>3d} {choice:12s} " + " ".join(cells) + f" {ratio_text:>24s}"
+            )
+    print(
+        "\nreading the table: TD-CMD times out as size grows; TD-CMDP and "
+        "HGR-TD-CMD keep finishing, staying close to the optimal cost where "
+        "it is known; TD-Auto tracks whichever variant its decision tree "
+        "picked (second column)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Partitioning comparison: the paper's core 'partition-aware' claim.
+
+The same UniProt-like query is optimized and executed under all four
+partitioning methods (Hash-SO, 2f, Path-BMC, un-1-hop).  Because the
+optimizer consumes the generic combine/distribute model, plans shift
+automatically: methods with richer locality (Path-BMC) turn distributed
+joins into local ones and the network traffic drops to zero.
+
+Also reports the storage side of the trade-off: replication factor and
+load balance per method — locality is bought with duplicated triples.
+
+Run:  python examples/partitioning_comparison.py
+"""
+
+from repro.core import JoinGraph, LocalQueryIndex, StatisticsCatalog, optimize
+from repro.core import bitset as bs
+from repro.engine import Cluster, Executor, evaluate_reference
+from repro.partitioning import (
+    HashSubjectObject,
+    PathBMC,
+    SemanticHash,
+    UndirectedOneHop,
+)
+from repro.workloads import generate_uniprot, uniprot_query
+
+METHODS = [HashSubjectObject(), SemanticHash(2), PathBMC(), UndirectedOneHop()]
+
+
+def main() -> None:
+    dataset = generate_uniprot()
+    query = uniprot_query("U2")  # the 5-pattern replacement chain
+    print(f"dataset: {dataset}")
+    print(f"query U2 ({JoinGraph(query).shape().value}):\n{query}\n")
+
+    statistics = StatisticsCatalog.from_dataset(query, dataset)
+    reference = evaluate_reference(query, dataset.graph)
+    join_graph = JoinGraph(query)
+
+    header = (
+        f"{'partitioning':12s} {'repl.':>6s} {'imbal.':>7s} {'max MLQ':>8s} "
+        f"{'est. cost':>10s} {'shipped':>8s} {'sim time':>9s} {'ok':>3s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for method in METHODS:
+        partitioning = method.partition(dataset, cluster_size=10)
+        cluster = Cluster(partitioning)
+        index = LocalQueryIndex(join_graph, method)
+        largest_mlq = max(
+            (bs.popcount(m) for m in index.maximal_local_queries), default=1
+        )
+        result = optimize(
+            query, statistics=statistics, partitioning=method, algorithm="td-auto"
+        )
+        relation, metrics = Executor(cluster).execute(result.plan, query)
+        ok = "✓" if relation.rows == reference.rows else "✗"
+        print(
+            f"{method.name:12s} "
+            f"{partitioning.replication_factor(dataset.triple_count):6.2f} "
+            f"{partitioning.imbalance():7.2f} "
+            f"{largest_mlq:8d} "
+            f"{result.cost:10.2f} "
+            f"{metrics.total_tuples_shipped:8d} "
+            f"{metrics.critical_path_cost:9.2f} {ok:>3s}"
+        )
+
+    print(
+        "\nreading the table: Path-BMC covers the whole chain with one "
+        "maximal local query, so TD-Auto plans a single local join and "
+        "nothing crosses the network — the paper's Table V effect."
+    )
+
+
+if __name__ == "__main__":
+    main()

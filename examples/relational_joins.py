@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Relational join optimization with the same enumerator.
+
+Section I of the paper: "Our optimization algorithms are generic enough
+to be applied to relational query optimization."  This example takes a
+TPC-H-flavoured star/snowflake join query — tables joined on key
+columns — encodes each table as a pattern whose 'variables' are its
+join columns, and runs TD-CMD / TD-CMDP over the resulting join graph.
+The k-ary bushy enumeration, the cost model, and the heuristics all
+apply unchanged; only the leaf statistics differ.
+
+Run:  python examples/relational_joins.py
+"""
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.core import (
+    CardinalityEstimator,
+    JoinGraph,
+    PatternStatistics,
+    PlanBuilder,
+    PrunedTopDownEnumerator,
+    StatisticsCatalog,
+    TopDownEnumerator,
+)
+from repro.rdf.terms import Variable
+from repro.sparql.ast import BGPQuery
+
+
+@dataclass(frozen=True)
+class Table:
+    """A relation, duck-typing the pattern interface the core needs."""
+
+    table_name: str
+    columns: FrozenSet[Variable]
+    rows: float
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.columns
+
+    def __str__(self) -> str:
+        return self.table_name
+
+
+def column(name: str) -> Variable:
+    return Variable(name)
+
+
+def main() -> None:
+    # a TPC-H-ish snowflake: lineitem at the center
+    orderkey = column("orderkey")
+    partkey = column("partkey")
+    suppkey = column("suppkey")
+    custkey = column("custkey")
+    nationkey = column("nationkey")
+
+    tables = [
+        Table("lineitem", frozenset({orderkey, partkey, suppkey}), 6_000_000),
+        Table("orders", frozenset({orderkey, custkey}), 1_500_000),
+        Table("customer", frozenset({custkey, nationkey}), 150_000),
+        Table("part", frozenset({partkey}), 200_000),
+        Table("supplier", frozenset({suppkey, nationkey}), 10_000),
+        Table("nation", frozenset({nationkey}), 25),
+    ]
+    query = BGPQuery(tables, name="tpch-snowflake")
+    join_graph = JoinGraph(query)
+    print(f"relational join graph: {join_graph}")
+    print(f"join columns: {[str(v) for v in join_graph.join_variables]}")
+
+    # distinct-value statistics per join column
+    distinct = {
+        "lineitem": {orderkey: 1_500_000, partkey: 200_000, suppkey: 10_000},
+        "orders": {orderkey: 1_500_000, custkey: 100_000},
+        "customer": {custkey: 150_000, nationkey: 25},
+        "part": {partkey: 200_000},
+        "supplier": {suppkey: 10_000, nationkey: 25},
+        "nation": {nationkey: 25},
+    }
+    catalog = StatisticsCatalog(
+        query,
+        [
+            PatternStatistics(
+                cardinality=t.rows,
+                bindings={v: float(c) for v, c in distinct[t.table_name].items()},
+            )
+            for t in tables
+        ],
+    )
+    builder = PlanBuilder(join_graph, CardinalityEstimator(join_graph, catalog))
+
+    for optimizer_class in (TopDownEnumerator, PrunedTopDownEnumerator):
+        result = optimizer_class(join_graph, builder).optimize()
+        print(
+            f"\n{result.algorithm}: cost={result.cost:,.0f} "
+            f"({result.stats.plans_considered} plans, "
+            f"{result.elapsed_seconds * 1000:.1f} ms)"
+        )
+        print(result.plan.describe())
+
+    print(
+        "\nreading the output: the enumerator produces a k-ary bushy plan "
+        "over relations exactly as over triple patterns — small dimension "
+        "tables are broadcast, the big fact-table joins are repartitioned."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,209 @@
+"""Command-line interface: optimize and run SPARQL queries.
+
+Usage::
+
+    python -m repro optimize query.sparql --data data.nt --algorithm td-auto
+    python -m repro run query.sparql --data data.nt --partitioning path-bmc
+    python -m repro experiments table4
+    python -m repro demo
+
+``optimize`` prints the chosen plan (text, ``--json``, or ``--dot``);
+``run`` also executes it on a simulated cluster and prints bindings;
+``experiments`` regenerates one of the paper's tables/figures;
+``demo`` runs the whole pipeline on the built-in LUBM-like workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core import StatisticsCatalog, optimize
+from .core.serialize import plan_to_dot, plan_to_json
+from .engine import Cluster, Executor
+from .partitioning import (
+    HashSubjectObject,
+    PathBMC,
+    SemanticHash,
+    UndirectedOneHop,
+)
+from .rdf import Dataset, load_ntriples
+from .sparql import parse_query
+
+PARTITIONINGS = {
+    "hash-so": HashSubjectObject,
+    "2f": lambda: SemanticHash(2),
+    "path-bmc": PathBMC,
+    "un-1-hop": UndirectedOneHop,
+}
+
+
+def _load_query(path: str):
+    text = Path(path).read_text(encoding="utf-8")
+    return parse_query(text, name=Path(path).stem)
+
+
+def _load_dataset(path: str | None) -> Dataset | None:
+    if path is None:
+        return None
+    return Dataset(load_ntriples(path), name=Path(path).stem)
+
+
+def _partitioning(name: str | None):
+    if name is None:
+        return None
+    try:
+        return PARTITIONINGS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown partitioning {name!r}; choose from {sorted(PARTITIONINGS)}"
+        )
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    query = _load_query(args.query)
+    dataset = _load_dataset(args.data)
+    result = optimize(
+        query,
+        algorithm=args.algorithm,
+        dataset=dataset,
+        partitioning=_partitioning(args.partitioning),
+        timeout_seconds=args.timeout,
+        seed=args.seed,
+    )
+    print(
+        f"# {result.algorithm}: cost={result.cost:.2f} "
+        f"plans={result.stats.plans_considered} "
+        f"time={result.elapsed_seconds * 1000:.1f}ms",
+        file=sys.stderr,
+    )
+    if args.json:
+        print(plan_to_json(result.plan, indent=2))
+    elif args.dot:
+        print(plan_to_dot(result.plan, name=query.name or "plan"))
+    else:
+        print(result.plan.describe())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    query = _load_query(args.query)
+    dataset = _load_dataset(args.data)
+    if dataset is None:
+        raise SystemExit("run requires --data")
+    method = _partitioning(args.partitioning) or HashSubjectObject()
+    result = optimize(
+        query,
+        algorithm=args.algorithm,
+        statistics=StatisticsCatalog.from_dataset(query, dataset),
+        partitioning=method,
+        timeout_seconds=args.timeout,
+    )
+    cluster = Cluster.build(dataset, method, cluster_size=args.workers)
+    if args.explain:
+        from .engine import explain
+
+        relation, report = explain(result.plan, cluster, query)
+        print(report.render(), file=sys.stderr)
+    else:
+        relation, metrics = Executor(cluster).execute(result.plan, query)
+        for key, value in metrics.summary().items():
+            print(f"# {key}: {value}", file=sys.stderr)
+    variables = list(relation.variables)
+    print("\t".join(str(v) for v in variables))
+    for row in sorted(relation.rows, key=str)[: args.limit]:
+        print("\t".join(str(term) for term in row))
+    if len(relation) > args.limit:
+        print(f"# ... {len(relation) - args.limit} more rows", file=sys.stderr)
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from . import experiments
+
+    drivers = {
+        "table3": experiments.table3,
+        "table4": experiments.table4,
+        "table5": experiments.table5,
+        "table6": experiments.table6,
+        "table7": experiments.table7,
+        "fig6": experiments.fig6,
+        "fig7": experiments.fig7,
+        "fig8": experiments.fig8,
+    }
+    if args.name not in drivers:
+        raise SystemExit(f"unknown experiment; choose from {sorted(drivers)}")
+    print(drivers[args.name].report())
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from .workloads import generate_lubm, lubm_query
+
+    dataset = generate_lubm()
+    query = lubm_query(args.query)
+    method = _partitioning(args.partitioning) or HashSubjectObject()
+    result = optimize(
+        query,
+        statistics=StatisticsCatalog.from_dataset(query, dataset),
+        partitioning=method,
+    )
+    print(f"# dataset: {dataset}", file=sys.stderr)
+    print(result.plan.describe())
+    cluster = Cluster.build(dataset, method, cluster_size=args.workers)
+    relation, metrics = Executor(cluster).execute(result.plan, query)
+    print(f"# rows={len(relation)} shipped={metrics.total_tuples_shipped} "
+          f"simulated_time={metrics.critical_path_cost:.2f}", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Parallel SPARQL query optimization (ICDE 2017)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--algorithm", default="td-auto")
+    common.add_argument("--partitioning", choices=sorted(PARTITIONINGS), default=None)
+    common.add_argument("--timeout", type=float, default=None)
+    common.add_argument("--workers", type=int, default=10)
+    common.add_argument("--seed", type=int, default=0)
+
+    p_opt = sub.add_parser("optimize", parents=[common], help="optimize a query file")
+    p_opt.add_argument("query")
+    p_opt.add_argument("--data", help="N-Triples file for statistics")
+    p_opt.add_argument("--json", action="store_true", help="emit the plan as JSON")
+    p_opt.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    p_opt.set_defaults(func=cmd_optimize)
+
+    p_run = sub.add_parser("run", parents=[common], help="optimize and execute")
+    p_run.add_argument("query")
+    p_run.add_argument("--data", required=True, help="N-Triples file")
+    p_run.add_argument("--limit", type=int, default=20)
+    p_run.add_argument(
+        "--explain",
+        action="store_true",
+        help="print estimated-vs-measured per operator",
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_exp = sub.add_parser("experiments", help="regenerate a paper table/figure")
+    p_exp.add_argument("name")
+    p_exp.set_defaults(func=cmd_experiments)
+
+    p_demo = sub.add_parser("demo", parents=[common], help="built-in LUBM demo")
+    p_demo.add_argument("--query", default="L7")
+    p_demo.set_defaults(func=cmd_demo)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

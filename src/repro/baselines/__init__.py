@@ -1,0 +1,13 @@
+"""Baseline optimizers the paper compares against."""
+
+from .dp_bushy import DPBushyOptimizer, maximal_multiway_division
+from .msc import MSCOptimizer, minimum_set_covers
+from .triad_dp import TriADOptimizer
+
+__all__ = [
+    "MSCOptimizer",
+    "DPBushyOptimizer",
+    "TriADOptimizer",
+    "minimum_set_covers",
+    "maximal_multiway_division",
+]

@@ -1,0 +1,139 @@
+"""A TriAD-style baseline: bottom-up binary bushy DP.
+
+Gurajada et al.'s TriAD optimizer enumerates *binary* bushy plans with
+a bottom-up dynamic program over connected subgraphs (in the spirit of
+Moerkotte & Neumann's DPccp, which the paper cites as the optimally
+efficient binary enumerator).  The paper excludes TriAD from its main
+comparison because multi-way plans dominate binary plans on
+MapReduce-like engines; we include it as an additional baseline and for
+the ablation "how much do k-way joins buy?".
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from ..core import bitset as bs
+from ..core.cost import PlanBuilder
+from ..core.enumeration import (
+    CartesianProductError,
+    EnumerationStats,
+    OptimizationResult,
+    OptimizationTimeout,
+)
+from ..core.join_graph import JoinGraph
+from ..core.local_query import LocalQueryIndex
+from ..core.plans import JoinAlgorithm, PlanNode
+from ..rdf.terms import Variable
+
+
+class TriADOptimizer:
+    """Bottom-up DP over connected subqueries; binary joins only."""
+
+    algorithm_name = "TriAD-DP"
+
+    def __init__(
+        self,
+        join_graph: JoinGraph,
+        builder: PlanBuilder,
+        local_index: Optional[LocalQueryIndex] = None,
+        timeout_seconds: Optional[float] = None,
+    ) -> None:
+        self.join_graph = join_graph
+        self.builder = builder
+        self.local_index = local_index or LocalQueryIndex(join_graph, None)
+        self.timeout_seconds = timeout_seconds
+        self.stats = EnumerationStats()
+        self._deadline: Optional[float] = None
+
+    def optimize(self) -> OptimizationResult:
+        """Fill the DP table bottom-up; return the full query's plan."""
+        full = self.join_graph.full
+        if not self.join_graph.is_connected(full):
+            raise CartesianProductError("query is disconnected")
+        started = time.perf_counter()
+        self._deadline = (
+            started + self.timeout_seconds if self.timeout_seconds else None
+        )
+        table: Dict[int, PlanNode] = {}
+        for i in range(self.join_graph.size):
+            table[bs.bit(i)] = self.builder.scan(i)
+        order = self._connected_subqueries_by_size()
+        for bits in order:
+            if bits in table:
+                continue
+            self._check_deadline()
+            self.stats.subqueries_expanded += 1
+            best: Optional[PlanNode] = None
+            if self.local_index.is_local(bits):
+                best = self.builder.local_join_plan(bits)
+                self.stats.plans_considered += 1
+            anchor = bs.lowest_bit(bits)
+            rest = bits & ~anchor
+            sub = rest
+            while True:
+                left = anchor | sub
+                right = bits & ~left
+                if right and left in table and right in table:
+                    if self._connected_pair(left, right):
+                        self.stats.divisions_enumerated += 1
+                        variable = self._shared_join_variable(left, right)
+                        for algorithm in (
+                            JoinAlgorithm.BROADCAST,
+                            JoinAlgorithm.REPARTITION,
+                        ):
+                            candidate = self.builder.join(
+                                algorithm, [table[left], table[right]], variable
+                            )
+                            self.stats.plans_considered += 1
+                            if best is None or candidate.cost < best.cost:
+                                best = candidate
+                if sub == 0:
+                    break
+                sub = (sub - 1) & rest
+            if best is not None:
+                table[bits] = best
+        plan = table.get(full)
+        if plan is None:
+            raise CartesianProductError("TriAD-DP produced no plan")
+        elapsed = time.perf_counter() - started
+        return OptimizationResult(
+            plan=plan,
+            algorithm=self.algorithm_name,
+            stats=self.stats,
+            elapsed_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    def _connected_subqueries_by_size(self) -> List[int]:
+        from ..core.counting import connected_subqueries
+
+        subqueries = [
+            sq
+            for sq in connected_subqueries(self.join_graph)
+            if bs.popcount(sq) >= 2
+        ]
+        subqueries.sort(key=bs.popcount)
+        return subqueries
+
+    def _connected_pair(self, left: int, right: int) -> bool:
+        """Both halves connected and sharing a join variable (no ×)."""
+        if not self.join_graph.is_connected(left):
+            return False
+        if not self.join_graph.is_connected(right):
+            return False
+        return self._shared_join_variable(left, right) is not None
+
+    def _shared_join_variable(self, left: int, right: int) -> Optional[Variable]:
+        for variable in self.join_graph.join_variables:
+            ntp = self.join_graph.ntp(variable)
+            if ntp & left and ntp & right:
+                return variable
+        return None
+
+    def _check_deadline(self) -> None:
+        if self._deadline is not None and time.perf_counter() > self._deadline:
+            raise OptimizationTimeout(
+                f"{self.algorithm_name} exceeded {self.timeout_seconds:.0f}s"
+            )

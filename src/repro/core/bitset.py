@@ -1,0 +1,92 @@
+"""Bitset encoding of (sub)queries.
+
+The paper encodes every (sub)query as a bitset: bit *i* is set when
+triple pattern *i* belongs to the subquery (Section III-B).  Python
+integers are arbitrary-precision, so a subquery is just an ``int``; this
+module collects the handful of bit tricks the optimizer needs, so the
+algorithm code reads like the paper's pseudocode.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+
+def bit(index: int) -> int:
+    """The singleton bitset {index}."""
+    return 1 << index
+
+
+def from_indices(indices: Iterable[int]) -> int:
+    """Build a bitset from pattern indices."""
+    result = 0
+    for i in indices:
+        result |= 1 << i
+    return result
+
+
+def to_indices(bits: int) -> List[int]:
+    """The sorted list of set bit positions."""
+    result = []
+    index = 0
+    while bits:
+        if bits & 1:
+            result.append(index)
+        bits >>= 1
+        index += 1
+    return result
+
+
+def iter_bits(bits: int) -> Iterator[int]:
+    """Yield each set bit position, ascending."""
+    index = 0
+    while bits:
+        if bits & 1:
+            yield index
+        bits >>= 1
+        index += 1
+
+
+def popcount(bits: int) -> int:
+    """Number of set bits (|SQ|)."""
+    return bits.bit_count()
+
+
+def lowest_bit(bits: int) -> int:
+    """The singleton bitset of the lowest set bit; 0 for the empty set."""
+    return bits & -bits
+
+
+def lowest_index(bits: int) -> int:
+    """Index of the lowest set bit; raises on the empty set."""
+    if not bits:
+        raise ValueError("empty bitset has no lowest bit")
+    return (bits & -bits).bit_length() - 1
+
+
+def is_subset(small: int, big: int) -> bool:
+    """True when every bit of *small* is set in *big* (bitset containment).
+
+    This is the paper's ``b_MLQ & b_SQ == b_SQ`` local-query check.
+    """
+    return small & big == small
+
+
+def full_set(size: int) -> int:
+    """The bitset {0, ..., size-1}."""
+    return (1 << size) - 1
+
+
+def iter_subsets(bits: int) -> Iterator[int]:
+    """Yield every non-empty subset of *bits* (standard submask walk)."""
+    sub = bits
+    while sub:
+        yield sub
+        sub = (sub - 1) & bits
+
+
+def iter_proper_nonempty_subsets(bits: int) -> Iterator[int]:
+    """Yield every subset S with 0 < S < bits."""
+    for sub in iter_subsets(bits):
+        if sub != bits:
+            yield sub

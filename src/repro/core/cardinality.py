@@ -1,0 +1,220 @@
+"""Cardinality estimation (Appendix B of the paper, Eqs. 10–11).
+
+Every triple pattern carries a cardinality ``|tp|`` and, per variable
+``v`` it contains, the number of distinct bindings ``B(tp, v)``.  The
+cardinality of a join is::
+
+    |tp1 ⋈ tp2| = |tp1| · |tp2| / Π_{v ∈ shared} max(B(tp1, v), B(tp2, v))
+
+and multi-pattern subqueries fold this formula over the patterns in
+index order (Eq. 11), which makes the estimate a function of the
+*pattern set only* — every plan for the same subquery sees the same
+cardinality, as required for a well-defined dynamic program.
+
+Statistics can come from a real dataset (exact counts, used by the
+engine experiments) or from the paper's random workload generator
+(cardinality ~ U[1, 1000], bindings ~ U[1, cardinality]).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..rdf.dataset import Dataset
+from ..rdf.terms import Variable
+from ..sparql.ast import BGPQuery
+from . import bitset as bs
+from .join_graph import JoinGraph
+
+
+@dataclass(frozen=True)
+class PatternStatistics:
+    """Statistics for a single triple pattern."""
+
+    cardinality: float
+    bindings: Mapping[Variable, float] = field(default_factory=dict)
+
+    def binding_count(self, variable: Variable) -> float:
+        """B(tp, v); defaults to the pattern cardinality when unknown."""
+        return self.bindings.get(variable, self.cardinality)
+
+
+class StatisticsCatalog:
+    """Per-pattern statistics for one query, aligned by pattern index."""
+
+    def __init__(self, query: BGPQuery, per_pattern: Sequence[PatternStatistics]) -> None:
+        if len(per_pattern) != len(query):
+            raise ValueError(
+                f"expected {len(query)} statistics entries, got {len(per_pattern)}"
+            )
+        self.query = query
+        self.per_pattern: List[PatternStatistics] = list(per_pattern)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, query: BGPQuery, dataset: Dataset) -> "StatisticsCatalog":
+        """Exact statistics by scanning the dataset (small-data path)."""
+        entries = []
+        for tp in query:
+            matches = list(
+                dataset.graph.match(tp.subject, tp.predicate, tp.object)
+            )
+            bindings: Dict[Variable, float] = {}
+            for variable in tp.variables():
+                values = set()
+                for t in matches:
+                    if tp.subject == variable:
+                        values.add(t.subject)
+                    if tp.predicate == variable:
+                        values.add(t.predicate)
+                    if tp.object == variable:
+                        values.add(t.object)
+                bindings[variable] = float(max(len(values), 1))
+            entries.append(
+                PatternStatistics(
+                    cardinality=float(max(len(matches), 1)), bindings=bindings
+                )
+            )
+        return cls(query, entries)
+
+    @classmethod
+    def from_sample(
+        cls,
+        query: BGPQuery,
+        dataset: Dataset,
+        fraction: float = 0.1,
+        rng: Optional[random.Random] = None,
+    ) -> "StatisticsCatalog":
+        """Approximate statistics from a Bernoulli sample of the data.
+
+        At the paper's data scales exact per-pattern counts are not
+        free; sampling is the standard substitute.  Counts are scaled
+        by 1/fraction; per-variable binding counts are scaled the same
+        way (a simplification that is exact for uniform value
+        distributions and an overestimate otherwise).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        rng = rng if rng is not None else random.Random(0)
+        from ..rdf.triples import RDFGraph
+
+        sample = RDFGraph(t for t in dataset.graph if rng.random() < fraction)
+        sampled_dataset = Dataset(sample, name=f"{dataset.name}-sample")
+        exact_on_sample = cls.from_dataset(query, sampled_dataset)
+        scale = 1.0 / fraction
+        entries = [
+            PatternStatistics(
+                cardinality=max(stats.cardinality * scale, 1.0),
+                bindings={
+                    v: max(b * scale, 1.0) for v, b in stats.bindings.items()
+                },
+            )
+            for stats in exact_on_sample.per_pattern
+        ]
+        return cls(query, entries)
+
+    @classmethod
+    def from_random(
+        cls,
+        query: BGPQuery,
+        rng: Optional[random.Random] = None,
+        max_cardinality: int = 1000,
+    ) -> "StatisticsCatalog":
+        """The paper's random statistics: |tp| ~ U[1, max], B ~ U[1, |tp|]."""
+        rng = rng if rng is not None else random.Random(0)
+        entries = []
+        for tp in query:
+            cardinality = rng.randint(1, max_cardinality)
+            bindings = {
+                variable: float(rng.randint(1, cardinality))
+                for variable in tp.variables()
+            }
+            entries.append(
+                PatternStatistics(cardinality=float(cardinality), bindings=bindings)
+            )
+        return cls(query, entries)
+
+    @classmethod
+    def uniform(cls, query: BGPQuery, cardinality: float = 100.0) -> "StatisticsCatalog":
+        """Identical statistics for every pattern (useful in tests)."""
+        entries = [
+            PatternStatistics(
+                cardinality=cardinality,
+                bindings={v: cardinality for v in tp.variables()},
+            )
+            for tp in query
+        ]
+        return cls(query, entries)
+
+    def __getitem__(self, index: int) -> PatternStatistics:
+        return self.per_pattern[index]
+
+
+class CardinalityEstimator:
+    """Memoized subquery-cardinality estimator over a join graph.
+
+    ``cardinality(bits)`` and ``bindings(bits, v)`` are pure functions of
+    the bitset, so results are cached; the top-down optimizer touches
+    each connected subquery many times.
+    """
+
+    def __init__(self, join_graph: JoinGraph, catalog: StatisticsCatalog) -> None:
+        if catalog.query is not join_graph.query:
+            # allow equal-but-distinct query objects as long as shapes align
+            if len(catalog.query) != join_graph.size:
+                raise ValueError("statistics catalog does not match the join graph")
+        self.join_graph = join_graph
+        self.catalog = catalog
+        self._cache: Dict[int, tuple[float, Dict[Variable, float]]] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def cardinality(self, bits: int) -> float:
+        """Estimated result cardinality of the subquery (Eq. 11)."""
+        return self._fold(bits)[0]
+
+    def bindings(self, bits: int, variable: Variable) -> float:
+        """Estimated distinct bindings of *variable* in the subquery."""
+        card, bindings = self._fold(bits)
+        return min(bindings.get(variable, card), card)
+
+    def pattern_cardinality(self, index: int) -> float:
+        """|tp_index|: the base cardinality of one pattern."""
+        return self.catalog[index].cardinality
+
+    # ------------------------------------------------------------------
+    # the Eq. 11 fold
+    # ------------------------------------------------------------------
+    def _fold(self, bits: int) -> tuple[float, Dict[Variable, float]]:
+        cached = self._cache.get(bits)
+        if cached is not None:
+            return cached
+        indices = bs.to_indices(bits)
+        if not indices:
+            raise ValueError("cannot estimate the empty subquery")
+        first = self.catalog[indices[0]]
+        card = first.cardinality
+        bindings: Dict[Variable, float] = {
+            v: first.binding_count(v)
+            for v in self.join_graph.patterns[indices[0]].variables()
+        }
+        for index in indices[1:]:
+            stats = self.catalog[index]
+            pattern = self.join_graph.patterns[index]
+            shared = [v for v in pattern.variables() if v in bindings]
+            denominator = 1.0
+            for v in shared:
+                denominator *= max(bindings[v], stats.binding_count(v))
+            card = card * stats.cardinality / denominator
+            card = max(card, 1.0)
+            for v in pattern.variables():
+                b = stats.binding_count(v)
+                bindings[v] = min(bindings.get(v, b), b)
+        result = (card, bindings)
+        self._cache[bits] = result
+        return result

@@ -1,0 +1,316 @@
+"""Connected binary- and multi-division enumeration (Algorithms 2 and 3).
+
+A *connected multi-division* (cmd) of a connected query Q on join
+variable v_j is a partition (SQ_1, ..., SQ_k) of Q's triple patterns
+such that every SQ_i is connected and contains at least one pattern in
+Ntp(v_j) (Definition 3).  Each cmd is one candidate k-way join.
+
+The enumeration strategy follows the paper:
+
+* :func:`enumerate_cbds` (Algorithm 2) grows one side of a *binary*
+  division incrementally.  After removing v_j the join graph falls into
+  connected components; an *indivisible* component (a single pattern
+  adjacent to v_j) must move as a whole (Lemma 1), while a *divisible*
+  component may be split, dragging along any fragments that would lose
+  their connection to v_j (Lemma 2).  The two lemmas collapse into one
+  rule: extending with pattern ``tp`` also absorbs every fragment of
+  ``component \\ (SQ ∪ {tp})`` that contains no pattern of Ntp(v_j).
+* :func:`enumerate_cmds` (Algorithm 3) peels cbd sides off recursively,
+  keeping them on a stack; every stack state is one cmd.
+
+Both are generators (the paper's ``Emit`` is ``yield``), so callers can
+stop early and nothing is materialized.  Every cmd is produced exactly
+once: within one v_j the peeled part always contains the lowest-index
+pattern of the remaining Ntp(v_j), which makes the part order canonical.
+
+:func:`brute_force_cbds` / :func:`brute_force_cmds` implement the
+definitions directly (exponentially); the test suite cross-validates
+the efficient enumerators against them on random join graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..rdf.terms import Variable
+from . import bitset as bs
+from .join_graph import JoinGraph
+
+#: A connected multi-division: the parts (bitsets) and the join variable.
+CMD = Tuple[Tuple[int, ...], Variable]
+
+
+# ----------------------------------------------------------------------
+# Algorithm 2: connected binary-division enumeration
+# ----------------------------------------------------------------------
+def enumerate_cbds(
+    join_graph: JoinGraph,
+    bits: int,
+    variable: Variable,
+    single_anchor: bool = False,
+) -> Iterator[Tuple[int, int]]:
+    """Yield every connected binary-division of *bits* on *variable*.
+
+    Pairs ``(sq1, sq2)`` are yielded with ``sq1`` containing the anchor
+    (the lowest-index pattern of ``Ntp(v_j) ∩ bits``), so each unordered
+    division appears exactly once.
+
+    With ``single_anchor=True`` only divisions whose ``sq1`` contains
+    *exactly one* pattern of Ntp(v_j) are produced (the building block
+    of ccmd enumeration for TD-CMDP, Section IV-A): the growth never
+    adds a second v_j-adjacent pattern, so the restriction prunes the
+    recursion instead of filtering its output.
+    """
+    ntp = join_graph.ntp(variable) & bits
+    if bs.popcount(ntp) < 2:
+        return
+    components = join_graph.connected_components(bits, exclude=variable)
+    component_of: Dict[int, int] = {}
+    for component in components:
+        for index in bs.iter_bits(component):
+            component_of[index] = component
+    anchor = bs.lowest_bit(ntp)
+    blocked = (ntp & ~anchor) if single_anchor else 0
+    yield from _cbd_rec(
+        join_graph, bits, variable, ntp, component_of, 0, 0, anchor, blocked
+    )
+
+
+def _cbd_rec(
+    join_graph: JoinGraph,
+    bits: int,
+    variable: Variable,
+    ntp: int,
+    component_of: Dict[int, int],
+    sq: int,
+    forbidden: int,
+    anchor: int,
+    blocked: int,
+) -> Iterator[Tuple[int, int]]:
+    """Recursive body of Algorithm 2 (CBDRec)."""
+    if sq & forbidden:
+        return
+    if sq == bits:
+        return
+    if sq:
+        yield (sq, bits & ~sq)
+    if sq == 0:
+        candidates = anchor
+    else:
+        candidates = join_graph.neighbors(sq) & bits & ~forbidden & ~blocked
+    for index in bs.iter_bits(candidates):
+        tp_bit = bs.bit(index)
+        component = component_of[index]
+        extension = tp_bit | _stranded_fragments(
+            join_graph, component & ~(sq | tp_bit), ntp
+        )
+        yield from _cbd_rec(
+            join_graph,
+            bits,
+            variable,
+            ntp,
+            component_of,
+            sq | extension,
+            forbidden,
+            anchor,
+            blocked,
+        )
+        forbidden |= tp_bit
+
+
+def _stranded_fragments(join_graph: JoinGraph, rest: int, ntp: int) -> int:
+    """Fragments of *rest* with no pattern adjacent to v_j (Lemmas 1–2).
+
+    Connectivity here includes v_j (ordinary subquery connectivity), so
+    all fragments that do touch v_j merge into at most one component and
+    stay behind; everything else would be stranded and must be absorbed
+    into the growing side.
+    """
+    if not rest:
+        return 0
+    stranded = 0
+    for fragment in join_graph.connected_components(rest):
+        if fragment & ntp == 0:
+            stranded |= fragment
+    return stranded
+
+
+# ----------------------------------------------------------------------
+# Algorithm 3: connected multi-division enumeration
+# ----------------------------------------------------------------------
+def enumerate_cmds(
+    join_graph: JoinGraph,
+    bits: int,
+    variables: Optional[Sequence[Variable]] = None,
+) -> Iterator[CMD]:
+    """Yield every connected multi-division of the subquery *bits*.
+
+    *variables* restricts the join variables considered (defaults to all
+    join variables of the query that have ≥2 adjacent patterns inside
+    *bits*).
+    """
+    if variables is None:
+        variables = join_graph.join_variables
+    for variable in variables:
+        if bs.popcount(join_graph.ntp(variable) & bits) < 2:
+            continue
+        stack: List[int] = []
+        yield from _cmd_rec(join_graph, bits, variable, stack)
+
+
+def _cmd_rec(
+    join_graph: JoinGraph,
+    remaining: int,
+    variable: Variable,
+    stack: List[int],
+) -> Iterator[CMD]:
+    """Recursive body of Algorithm 3 (CMDRec)."""
+    if stack:
+        yield (tuple(stack) + (remaining,), variable)
+    if bs.popcount(join_graph.ntp(variable) & remaining) == 1:
+        return
+    for part, rest in enumerate_cbds(join_graph, remaining, variable):
+        stack.append(part)
+        yield from _cmd_rec(join_graph, rest, variable, stack)
+        stack.pop()
+
+
+# ----------------------------------------------------------------------
+# ccmd enumeration (TD-CMDP, Rule 1)
+# ----------------------------------------------------------------------
+def enumerate_ccmds(
+    join_graph: JoinGraph,
+    bits: int,
+    variables: Optional[Sequence[Variable]] = None,
+    minimum_arity: int = 3,
+) -> Iterator[CMD]:
+    """Yield connected *complete*-multi-divisions with arity ≥ *minimum_arity*.
+
+    A ccmd is a cmd in which every part contains exactly one pattern of
+    Ntp(v_j) (Section IV-A); its arity therefore equals the degree of
+    v_j inside *bits*.
+    """
+    if variables is None:
+        variables = join_graph.join_variables
+    for variable in variables:
+        ntp = join_graph.ntp(variable) & bits
+        degree = bs.popcount(ntp)
+        if degree < 2 or degree < minimum_arity:
+            continue
+        stack: List[int] = []
+        yield from _ccmd_rec(join_graph, bits, variable, ntp, stack, minimum_arity)
+
+
+def _ccmd_rec(
+    join_graph: JoinGraph,
+    remaining: int,
+    variable: Variable,
+    ntp: int,
+    stack: List[int],
+    minimum_arity: int,
+) -> Iterator[CMD]:
+    remaining_degree = bs.popcount(ntp & remaining)
+    if remaining_degree == 1:
+        if len(stack) + 1 >= minimum_arity:
+            yield (tuple(stack) + (remaining,), variable)
+        return
+    for part, rest in enumerate_cbds(
+        join_graph, remaining, variable, single_anchor=True
+    ):
+        stack.append(part)
+        yield from _ccmd_rec(join_graph, rest, variable, ntp, stack, minimum_arity)
+        stack.pop()
+
+
+def enumerate_cmds_pruned(
+    join_graph: JoinGraph,
+    bits: int,
+    variables: Optional[Sequence[Variable]] = None,
+) -> Iterator[CMD]:
+    """The TD-CMDP division space: all cbds plus ccmds of arity > 2.
+
+    This is the paper's ``ConnMultiDivisionPruning`` (Rule 1 applied to
+    the enumeration; Rules 2–3 are applied by the optimizer itself).
+    """
+    if variables is None:
+        variables = join_graph.join_variables
+    for variable in variables:
+        if bs.popcount(join_graph.ntp(variable) & bits) < 2:
+            continue
+        for part, rest in enumerate_cbds(join_graph, bits, variable):
+            yield ((part, rest), variable)
+    yield from enumerate_ccmds(join_graph, bits, variables, minimum_arity=3)
+
+
+# ----------------------------------------------------------------------
+# brute-force references (for validation)
+# ----------------------------------------------------------------------
+def is_valid_cmd(
+    join_graph: JoinGraph, bits: int, parts: Sequence[int], variable: Variable
+) -> bool:
+    """Check Definition 3 directly."""
+    ntp = join_graph.ntp(variable)
+    union = 0
+    for part in parts:
+        if part == 0 or union & part:
+            return False
+        union |= part
+        if part & ntp == 0:
+            return False
+        if not join_graph.is_connected(part):
+            return False
+    return union == bits
+
+
+def brute_force_cbds(
+    join_graph: JoinGraph, bits: int, variable: Variable
+) -> List[Tuple[int, int]]:
+    """All cbds by trying every subset (exponential; tests only).
+
+    Normalized so the side containing the lowest Ntp(v_j) pattern comes
+    first, matching :func:`enumerate_cbds` output order conventions.
+    """
+    ntp = join_graph.ntp(variable) & bits
+    if bs.popcount(ntp) < 2:
+        return []
+    anchor = bs.lowest_bit(ntp)
+    results = []
+    for subset in bs.iter_proper_nonempty_subsets(bits):
+        if not subset & anchor:
+            continue
+        complement = bits & ~subset
+        if is_valid_cmd(join_graph, bits, (subset, complement), variable):
+            results.append((subset, complement))
+    return results
+
+
+def brute_force_cmds(join_graph: JoinGraph, bits: int) -> List[CMD]:
+    """All cmds by enumerating set partitions (exponential; tests only)."""
+    indices = bs.to_indices(bits)
+    results: List[CMD] = []
+    for partition in _set_partitions(indices):
+        if len(partition) < 2:
+            continue
+        parts = tuple(sorted(bs.from_indices(block) for block in partition))
+        for variable in join_graph.join_variables:
+            if is_valid_cmd(join_graph, bits, parts, variable):
+                results.append((parts, variable))
+    return results
+
+
+def _set_partitions(items: List[int]) -> Iterator[List[List[int]]]:
+    """All set partitions of *items* (standard recursive construction)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _set_partitions(rest):
+        for i, block in enumerate(partition):
+            yield partition[:i] + [[first] + block] + partition[i + 1 :]
+        yield [[first]] + partition
+
+
+def canonical_cmd(cmd: CMD) -> Tuple[Tuple[int, ...], Variable]:
+    """Sort the parts so cmds can be compared as sets."""
+    parts, variable = cmd
+    return (tuple(sorted(parts)), variable)

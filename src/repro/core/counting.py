@@ -1,0 +1,113 @@
+"""Search-space counting: T(Q), Bell numbers, and the closed forms.
+
+Section III-D defines ``T(Q) = Σ |D_cmd(SQ_i)|`` over all connected
+subqueries SQ_i of Q, and derives closed forms:
+
+* chain queries (Eq. 8):  T = (n³ − n) / 6
+* cycle queries (Eq. 9):  T = (n³ − n²) / 2
+* star queries  (Eq. 7):  T = Σ_{k=2..n} (B_k − 1) · C(n, k)
+
+These formulas double as an independent correctness oracle for the cmd
+enumerator: ``measured_t`` counts cmds by running Algorithm 3 on every
+connected subquery and must reproduce the closed forms exactly.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import comb
+from typing import Iterator
+
+from . import bitset as bs
+from .cmd import enumerate_cmds
+from .join_graph import JoinGraph
+
+
+@lru_cache(maxsize=None)
+def bell_number(k: int) -> int:
+    """The k-th Bell number (number of set partitions of a k-set)."""
+    if k < 0:
+        raise ValueError("Bell numbers are defined for k >= 0")
+    if k == 0:
+        return 1
+    # Bell triangle
+    row = [1]
+    for _ in range(k - 1):
+        next_row = [row[-1]]
+        for value in row:
+            next_row.append(next_row[-1] + value)
+        row = next_row
+    return row[-1]
+
+
+def t_chain(n: int) -> int:
+    """Closed form for chain queries (Eq. 8)."""
+    return (n**3 - n) // 6
+
+
+def t_cycle(n: int) -> int:
+    """Closed form for cycle queries (Eq. 9)."""
+    return (n**3 - n**2) // 2
+
+
+def t_star(n: int) -> int:
+    """Closed form for star queries (Eq. 7)."""
+    return sum((bell_number(k) - 1) * comb(n, k) for k in range(2, n + 1))
+
+
+def connected_subqueries(join_graph: JoinGraph, bits: int = -1) -> Iterator[int]:
+    """Yield every connected subquery bitset (size ≥ 1) exactly once.
+
+    Standard duplicate-free connected-subgraph enumeration: subsets are
+    grown only with indices greater than their seed, each seed owning
+    the subsets whose minimum index it is.
+    """
+    if bits == -1:
+        bits = join_graph.full
+    for seed in bs.iter_bits(bits):
+        forbidden = bs.full_set(seed + 1)  # seed and everything below it
+        seed_bit = bs.bit(seed)
+        yield seed_bit
+        yield from _grow(join_graph, bits, seed_bit, forbidden)
+
+
+def _grow(
+    join_graph: JoinGraph, bits: int, subgraph: int, forbidden: int
+) -> Iterator[int]:
+    candidates = join_graph.neighbors(subgraph) & bits & ~forbidden
+    blocked = forbidden | candidates
+    remaining = candidates
+    for sub in _nonempty_subsets(remaining):
+        grown = subgraph | sub
+        yield grown
+        yield from _grow(join_graph, bits, grown, blocked)
+
+
+def _nonempty_subsets(bits: int) -> Iterator[int]:
+    sub = bits
+    while sub:
+        yield sub
+        sub = (sub - 1) & bits
+
+
+def count_cmds(join_graph: JoinGraph, bits: int) -> int:
+    """|D_cmd(SQ)|: the number of cmds of one subquery."""
+    return sum(1 for _ in enumerate_cmds(join_graph, bits))
+
+
+def measured_t(join_graph: JoinGraph) -> int:
+    """T(Q) measured by enumerating cmds on every connected subquery.
+
+    Exponential in the number of connected subqueries; intended for
+    validation on small/medium queries, not for optimization.
+    """
+    return sum(
+        count_cmds(join_graph, sq)
+        for sq in connected_subqueries(join_graph)
+        if bs.popcount(sq) >= 2
+    )
+
+
+def count_connected_subqueries(join_graph: JoinGraph) -> int:
+    """Number of connected subqueries of any size ≥ 1."""
+    return sum(1 for _ in connected_subqueries(join_graph))

@@ -1,0 +1,103 @@
+"""The public optimizer facade.
+
+:func:`optimize` wires a query, its statistics, a partitioning method,
+and the cost model into the chosen algorithm and returns an
+:class:`~repro.core.enumeration.OptimizationResult`.  This is the entry
+point the examples, tests, and benchmarks use::
+
+    from repro import optimize, parse_query
+    result = optimize(parse_query(text), algorithm="td-auto")
+    print(result.plan.describe())
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..partitioning.base import PartitioningMethod
+from ..rdf.dataset import Dataset
+from ..sparql.ast import BGPQuery
+from .auto import AutonomousOptimizer
+from .cardinality import CardinalityEstimator, StatisticsCatalog
+from .cost import CostParameters, PAPER_PARAMETERS, PlanBuilder
+from .enumeration import OptimizationResult, TopDownEnumerator
+from .join_graph import JoinGraph
+from .local_query import LocalQueryIndex
+from .pruning import PrunedTopDownEnumerator
+from .reduction import ReductionOptimizer
+
+ALGORITHMS: Dict[str, type] = {
+    "td-cmd": TopDownEnumerator,
+    "td-cmdp": PrunedTopDownEnumerator,
+    "hgr-td-cmd": ReductionOptimizer,
+    "td-auto": AutonomousOptimizer,
+}
+
+
+def make_builder(
+    query: BGPQuery,
+    statistics: Optional[StatisticsCatalog] = None,
+    dataset: Optional[Dataset] = None,
+    parameters: CostParameters = PAPER_PARAMETERS,
+    seed: int = 0,
+) -> PlanBuilder:
+    """Assemble the (join graph, estimator, cost) triple for a query.
+
+    Statistics resolution order: explicit catalog > dataset-derived >
+    random (the paper's synthetic-statistics mode, seeded for
+    reproducibility).
+    """
+    join_graph = JoinGraph(query)
+    if statistics is None:
+        if dataset is not None:
+            statistics = StatisticsCatalog.from_dataset(query, dataset)
+        else:
+            statistics = StatisticsCatalog.from_random(query, random.Random(seed))
+    estimator = CardinalityEstimator(join_graph, statistics)
+    return PlanBuilder(join_graph, estimator, parameters)
+
+
+def optimize(
+    query: BGPQuery,
+    algorithm: str = "td-auto",
+    statistics: Optional[StatisticsCatalog] = None,
+    dataset: Optional[Dataset] = None,
+    partitioning: Optional[PartitioningMethod] = None,
+    parameters: CostParameters = PAPER_PARAMETERS,
+    timeout_seconds: Optional[float] = None,
+    seed: int = 0,
+) -> OptimizationResult:
+    """Optimize a BGP query into a k-ary bushy plan.
+
+    Parameters
+    ----------
+    query:
+        The parsed query.
+    algorithm:
+        ``"td-cmd"``, ``"td-cmdp"``, ``"hgr-td-cmd"``, or ``"td-auto"``
+        (case-insensitive).
+    statistics / dataset:
+        Cardinality sources; see :func:`make_builder`.
+    partitioning:
+        The data partitioning method; enables local-query detection.
+        ``None`` means every multi-pattern subquery is distributed.
+    parameters:
+        Cost-model constants (defaults to the paper's Table II).
+    timeout_seconds:
+        Abort with :class:`OptimizationTimeout` past this budget.
+    """
+    key = algorithm.lower()
+    if key not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+        )
+    builder = make_builder(query, statistics, dataset, parameters, seed)
+    local_index = LocalQueryIndex(builder.join_graph, partitioning)
+    implementation = ALGORITHMS[key](
+        builder.join_graph,
+        builder,
+        local_index=local_index,
+        timeout_seconds=timeout_seconds,
+    )
+    return implementation.optimize()

@@ -1,0 +1,171 @@
+"""Physical query plans: labeled k-ary bushy trees (Section II-D).
+
+A plan is a tree whose leaves are triple-pattern scans and whose inner
+nodes are k-way join operators labeled with a join algorithm (local,
+broadcast, or repartition).  Nodes are immutable; cost and cardinality
+are attached at construction time by the cost model, so plans can be
+compared, stored in memo tables, and pretty-printed without recomputing
+anything.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from ..rdf.terms import Variable
+from ..sparql.ast import TriplePattern
+from . import bitset as bs
+
+
+class JoinAlgorithm(enum.Enum):
+    """The three physical join algorithms of Section II-D."""
+
+    LOCAL = "local"
+    BROADCAST = "broadcast"
+    REPARTITION = "repartition"
+
+    @property
+    def symbol(self) -> str:
+        """The paper's join-operator glyph (⋈L / ⋈B / ⋈R)."""
+        return {"local": "⋈L", "broadcast": "⋈B", "repartition": "⋈R"}[self.value]
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Common plan-node state.
+
+    ``bits`` is the subquery bitset this node computes; ``cardinality``
+    the estimated output size; ``cost`` the cumulative plan cost per
+    Eq. 3 (max over children plus this operator's cost).
+    """
+
+    bits: int
+    cardinality: float
+    cost: float
+
+    @property
+    def pattern_count(self) -> int:
+        """Number of triple patterns this node covers."""
+        return bs.popcount(self.bits)
+
+    def walk(self) -> Iterator["PlanNode"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+
+    def leaves(self) -> Iterator["ScanNode"]:
+        """All scan leaves of the subtree."""
+        for node in self.walk():
+            if isinstance(node, ScanNode):
+                yield node
+
+    def joins(self) -> Iterator["JoinNode"]:
+        """All join operators of the subtree."""
+        for node in self.walk():
+            if isinstance(node, JoinNode):
+                yield node
+
+    def depth(self) -> int:
+        """Number of join levels (a bare scan has depth 0)."""
+        return 0
+
+    def describe(self, indent: int = 0) -> str:
+        """Pretty-print the subtree (implemented by subclasses)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ScanNode(PlanNode):
+    """A leaf: the bindings of one triple pattern."""
+
+    pattern_index: int = -1
+    pattern: Optional[TriplePattern] = None
+
+    def describe(self, indent: int = 0) -> str:
+        pattern = str(self.pattern) if self.pattern is not None else f"tp{self.pattern_index}"
+        return f"{'  ' * indent}scan[{self.pattern_index}] {pattern} (card={self.cardinality:.0f})"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class JoinNode(PlanNode):
+    """An inner node: a k-way join with a labeled algorithm."""
+
+    algorithm: JoinAlgorithm = JoinAlgorithm.REPARTITION
+    join_variable: Optional[Variable] = None
+    children: Tuple[PlanNode, ...] = ()
+    operator_cost: float = 0.0
+
+    @property
+    def arity(self) -> int:
+        """Number of inputs (k of the k-way join)."""
+        return len(self.children)
+
+    def walk(self) -> Iterator[PlanNode]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def depth(self) -> int:
+        return 1 + max(child.depth() for child in self.children)
+
+    def describe(self, indent: int = 0) -> str:
+        variable = f" on {self.join_variable}" if self.join_variable else ""
+        head = (
+            f"{'  ' * indent}{self.algorithm.symbol}{variable} "
+            f"(arity={self.arity}, card={self.cardinality:.0f}, cost={self.cost:.1f})"
+        )
+        body = "\n".join(child.describe(indent + 1) for child in self.children)
+        return f"{head}\n{body}"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def validate_plan(plan: PlanNode, expected_bits: Optional[int] = None) -> None:
+    """Check structural invariants; raise ``ValueError`` on violation.
+
+    Invariants (Section II-D):
+
+    * every join's children cover disjoint subqueries,
+    * a join's bits are exactly the union of its children's bits,
+    * every join has arity ≥ 2,
+    * the root covers *expected_bits* when given.
+    """
+    if expected_bits is not None and plan.bits != expected_bits:
+        raise ValueError(
+            f"plan covers bitset {plan.bits:#x}, expected {expected_bits:#x}"
+        )
+    for node in plan.walk():
+        if isinstance(node, JoinNode):
+            if node.arity < 2:
+                raise ValueError(f"join node with arity {node.arity}")
+            union = 0
+            for child in node.children:
+                if union & child.bits:
+                    raise ValueError("join children overlap")
+                union |= child.bits
+            if union != node.bits:
+                raise ValueError("join bits do not equal the union of children")
+        elif isinstance(node, ScanNode):
+            if bs.popcount(node.bits) != 1:
+                raise ValueError("scan node must cover exactly one pattern")
+
+
+def plan_signature(plan: PlanNode) -> str:
+    """A canonical, order-insensitive string form (used in tests)."""
+    if isinstance(plan, ScanNode):
+        return f"s{plan.pattern_index}"
+    assert isinstance(plan, JoinNode)
+    inner = ",".join(sorted(plan_signature(c) for c in plan.children))
+    label = plan.algorithm.value[0]
+    variable = plan.join_variable.name if plan.join_variable else ""
+    return f"{label}{variable}({inner})"
+
+
+def count_operators(plan: PlanNode) -> int:
+    """Number of join operators in the plan."""
+    return sum(1 for _ in plan.joins())

@@ -1,0 +1,76 @@
+"""TD-CMDP: connected multi-division enumeration with pruning (Section IV-A).
+
+Three pruning rules confine the search space of TD-CMD:
+
+* **Rule 1** — for k-way joins with k > 2, only *connected
+  complete-multi-divisions* (ccmds: every part contains exactly one
+  pattern of Ntp(v_j)) are considered; binary divisions stay unpruned.
+* **Rule 2** — broadcast joins are considered only for binary joins
+  (only one input has to be shipped).
+* **Rule 3** — a local subquery is planned as the flat local join,
+  full stop; nothing below it is enumerated.
+
+The paper notes this is very different from MSC's flattest-plan
+heuristic: for every subquery TD-CMDP still considers all binary joins
+*plus* the complete multi-way joins, at every level.
+
+The rules can be toggled individually (keyword-only constructor flags),
+which the ablation benchmark uses to price each rule separately.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+from ..rdf.terms import Variable
+from . import bitset as bs
+from .cmd import enumerate_cbds, enumerate_ccmds, enumerate_cmds
+from .cost import PlanBuilder
+from .enumeration import TopDownEnumerator
+from .join_graph import JoinGraph
+from .local_query import LocalQueryIndex
+from .plans import JoinAlgorithm
+
+
+class PrunedTopDownEnumerator(TopDownEnumerator):
+    """TD-CMDP: TD-CMD with Rules 1–3 (individually toggleable)."""
+
+    algorithm_name = "TD-CMDP"
+
+    def __init__(
+        self,
+        join_graph: JoinGraph,
+        builder: PlanBuilder,
+        local_index: Optional[LocalQueryIndex] = None,
+        timeout_seconds: Optional[float] = None,
+        *,
+        rule1_ccmd_only: bool = True,
+        rule2_binary_broadcast: bool = True,
+        rule3_local_short_circuit: bool = True,
+    ) -> None:
+        super().__init__(join_graph, builder, local_index, timeout_seconds)
+        self.rule1_ccmd_only = rule1_ccmd_only
+        self.rule2_binary_broadcast = rule2_binary_broadcast
+        self.local_short_circuit = rule3_local_short_circuit  # Rule 3
+
+    def divisions(
+        self, bits: int
+    ) -> Iterator[Tuple[Tuple[int, ...], Variable, Sequence[JoinAlgorithm]]]:
+        both = (JoinAlgorithm.BROADCAST, JoinAlgorithm.REPARTITION)
+        repartition_only = (JoinAlgorithm.REPARTITION,)
+        multiway_operators = repartition_only if self.rule2_binary_broadcast else both
+        if self.rule1_ccmd_only:
+            for variable in self.join_graph.join_variables:
+                if bs.popcount(self.join_graph.ntp(variable) & bits) < 2:
+                    continue
+                for part, rest in enumerate_cbds(self.join_graph, bits, variable):
+                    yield (part, rest), variable, both
+            # Rule 1: k > 2 only through ccmds
+            for parts, variable in enumerate_ccmds(
+                self.join_graph, bits, minimum_arity=3
+            ):
+                yield parts, variable, multiway_operators
+        else:
+            for parts, variable in enumerate_cmds(self.join_graph, bits):
+                operators = both if len(parts) == 2 else multiway_operators
+                yield parts, variable, operators

@@ -1,0 +1,113 @@
+"""Plan serialization: JSON round-trip and Graphviz DOT export.
+
+A deployed optimizer hands plans to an execution tier; these codecs are
+the wire format.  ``plan_to_json``/``plan_from_json`` round-trip every
+plan the optimizers produce (scans need the query to resolve pattern
+objects); ``plan_to_dot`` renders the bushy tree for papers and debug
+sessions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from ..rdf.terms import Variable
+from ..sparql.ast import BGPQuery
+from .plans import JoinAlgorithm, JoinNode, PlanNode, ScanNode
+
+
+def plan_to_dict(plan: PlanNode) -> Dict[str, Any]:
+    """Plan tree → plain dictionaries (JSON-compatible)."""
+    if isinstance(plan, ScanNode):
+        return {
+            "kind": "scan",
+            "pattern_index": plan.pattern_index,
+            "cardinality": plan.cardinality,
+            "cost": plan.cost,
+        }
+    if isinstance(plan, JoinNode):
+        return {
+            "kind": "join",
+            "algorithm": plan.algorithm.value,
+            "join_variable": plan.join_variable.name if plan.join_variable else None,
+            "cardinality": plan.cardinality,
+            "cost": plan.cost,
+            "operator_cost": plan.operator_cost,
+            "children": [plan_to_dict(child) for child in plan.children],
+        }
+    raise TypeError(f"cannot serialize {type(plan).__name__}")
+
+
+def plan_from_dict(data: Dict[str, Any], query: Optional[BGPQuery] = None) -> PlanNode:
+    """Dictionaries → plan tree; *query* restores scan pattern objects."""
+    kind = data.get("kind")
+    if kind == "scan":
+        index = data["pattern_index"]
+        pattern = query.patterns[index] if query is not None else None
+        return ScanNode(
+            bits=1 << index,
+            cardinality=data["cardinality"],
+            cost=data["cost"],
+            pattern_index=index,
+            pattern=pattern,
+        )
+    if kind == "join":
+        children = tuple(
+            plan_from_dict(child, query) for child in data["children"]
+        )
+        bits = 0
+        for child in children:
+            bits |= child.bits
+        variable = (
+            Variable(data["join_variable"]) if data.get("join_variable") else None
+        )
+        return JoinNode(
+            bits=bits,
+            cardinality=data["cardinality"],
+            cost=data["cost"],
+            algorithm=JoinAlgorithm(data["algorithm"]),
+            join_variable=variable,
+            children=children,
+            operator_cost=data.get("operator_cost", 0.0),
+        )
+    raise ValueError(f"unknown plan node kind {kind!r}")
+
+
+def plan_to_json(plan: PlanNode, indent: Optional[int] = None) -> str:
+    """Serialize a plan tree to a JSON string."""
+    return json.dumps(plan_to_dict(plan), indent=indent)
+
+
+def plan_from_json(text: str, query: Optional[BGPQuery] = None) -> PlanNode:
+    """Parse a JSON string back into a plan tree."""
+    return plan_from_dict(json.loads(text), query)
+
+
+def plan_to_dot(plan: PlanNode, name: str = "plan") -> str:
+    """Render the plan as a Graphviz digraph."""
+    lines = [f"digraph {json.dumps(name)} {{", "  node [fontname=monospace];"]
+    counter = [0]
+
+    def emit(node: PlanNode) -> str:
+        identifier = f"n{counter[0]}"
+        counter[0] += 1
+        if isinstance(node, ScanNode):
+            label = f"scan tp{node.pattern_index}\\ncard={node.cardinality:.0f}"
+            lines.append(f'  {identifier} [shape=box, label="{label}"];')
+        else:
+            assert isinstance(node, JoinNode)
+            variable = f" on ?{node.join_variable.name}" if node.join_variable else ""
+            label = (
+                f"{node.algorithm.value} join{variable}\\n"
+                f"card={node.cardinality:.0f} cost={node.cost:.1f}"
+            )
+            lines.append(f'  {identifier} [shape=ellipse, label="{label}"];')
+            for child in node.children:
+                child_id = emit(child)
+                lines.append(f"  {identifier} -> {child_id};")
+        return identifier
+
+    emit(plan)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Simulated parallel execution engine (the RDF-3X + Hadoop stand-in)."""
+
+from .cluster import Cluster
+from .executor import ExecutionError, Executor, evaluate_reference
+from .explain import ExplainReport, OperatorExplain, explain
+from .mapreduce import (
+    MapReduceSchedule,
+    MapReduceSimulator,
+    Stage,
+    compile_stages,
+    overhead_crossover,
+)
+from .metrics import ExecutionMetrics, OperatorMetrics
+from .relations import Relation, hash_join, multi_join, scan_pattern
+
+__all__ = [
+    "Cluster",
+    "explain",
+    "ExplainReport",
+    "OperatorExplain",
+    "MapReduceSchedule",
+    "MapReduceSimulator",
+    "Stage",
+    "compile_stages",
+    "overhead_crossover",
+    "Executor",
+    "ExecutionError",
+    "evaluate_reference",
+    "ExecutionMetrics",
+    "OperatorMetrics",
+    "Relation",
+    "scan_pattern",
+    "hash_join",
+    "multi_join",
+]

@@ -1,0 +1,47 @@
+"""The simulated cluster: workers holding partitioned data.
+
+Plays the role of the paper's 10-node RDF-3X + Hadoop testbed.  A
+:class:`Cluster` owns one :class:`~repro.rdf.triples.RDFGraph` per
+worker (produced by a partitioning method) plus the term-hash routing
+used by repartition joins.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..partitioning.base import Partitioning, PartitioningMethod, hash_term
+from ..rdf.dataset import Dataset
+from ..rdf.terms import Term
+from ..rdf.triples import RDFGraph
+
+
+class Cluster:
+    """A set of workers with partitioned RDF data."""
+
+    def __init__(self, partitioning: Partitioning) -> None:
+        self.partitioning = partitioning
+        self.workers: List[RDFGraph] = partitioning.node_graphs
+
+    @classmethod
+    def build(
+        cls, dataset: Dataset, method: PartitioningMethod, cluster_size: int = 10
+    ) -> "Cluster":
+        """Partition *dataset* with *method* across *cluster_size* workers."""
+        return cls(method.partition(dataset, cluster_size))
+
+    @property
+    def size(self) -> int:
+        """Number of workers."""
+        return len(self.workers)
+
+    def route(self, term: Term) -> int:
+        """The worker a term hashes to (repartition-join routing)."""
+        return hash_term(term, self.size)
+
+    def __repr__(self) -> str:
+        sizes = [len(g) for g in self.workers]
+        return (
+            f"Cluster({self.size} workers, method={self.partitioning.method_name}, "
+            f"loads={sizes})"
+        )

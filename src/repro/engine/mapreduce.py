@@ -1,0 +1,164 @@
+"""MapReduce stage compilation: the Hadoop substrate behind the paper.
+
+The paper's prototype runs distributed joins as Hadoop jobs, and the
+whole flat-plan discussion (MSC's motivation, Section IV) exists
+because every MapReduce job pays a fixed startup overhead on top of its
+data costs: fewer levels → fewer sequential job waves.  The cost model
+of Table I deliberately omits that overhead; this module makes it
+explicit so the trade-off can be studied:
+
+* :func:`compile_stages` lowers a bushy plan onto MapReduce *stages* —
+  every distributed join is one job; jobs whose inputs are ready run in
+  the same wave (children of independent subtrees run concurrently,
+  exactly the ``max`` in Eq. 3); local joins and scans ride along with
+  the job that consumes them (map-side work);
+* :class:`MapReduceSimulator` prices a schedule: per-wave sequential
+  barrier, per-job startup overhead, plus the Table I data costs.
+
+The ablation bench sweeps the startup overhead and shows the paper's
+observation both ways: with large overheads the flattest plan (MSC)
+wins; with small overheads the cost-optimal bushy plan (TD-CMD) wins —
+"the flattest plan is not always the best plan".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.cost import CostParameters, PAPER_PARAMETERS
+from ..core.plans import JoinAlgorithm, JoinNode, PlanNode, ScanNode
+
+
+@dataclass
+class Stage:
+    """One MapReduce job: a distributed join plus its map-side inputs."""
+
+    job_id: int
+    wave: int  # 0-based wave index; waves run sequentially
+    algorithm: JoinAlgorithm
+    arity: int
+    input_cardinalities: List[float]
+    output_cardinality: float
+
+    def data_cost(self, parameters: CostParameters) -> float:
+        """The job's Table I data cost (I/O + transfer + join)."""
+        return parameters.operator_cost(
+            self.algorithm, self.input_cardinalities, self.output_cardinality
+        )
+
+
+@dataclass
+class MapReduceSchedule:
+    """A plan lowered to waves of concurrent jobs."""
+
+    stages: List[Stage] = field(default_factory=list)
+
+    @property
+    def job_count(self) -> int:
+        """Total number of MapReduce jobs."""
+        return len(self.stages)
+
+    @property
+    def wave_count(self) -> int:
+        """Number of sequential job waves (the plan's 'levels')."""
+        if not self.stages:
+            return 0
+        return max(stage.wave for stage in self.stages) + 1
+
+    def jobs_in_wave(self, wave: int) -> List[Stage]:
+        """The jobs scheduled in wave *wave*."""
+        return [stage for stage in self.stages if stage.wave == wave]
+
+
+def compile_stages(plan: PlanNode) -> MapReduceSchedule:
+    """Lower a bushy plan to MapReduce stages.
+
+    A node's wave = max(children's waves) + 1 for distributed joins;
+    scans and local joins are wave −1 (map-side, no job of their own).
+    """
+    schedule = MapReduceSchedule()
+    counter = [0]
+
+    def lower(node: PlanNode) -> int:
+        """Return the wave index after which *node*'s output is ready."""
+        if isinstance(node, ScanNode):
+            return -1
+        assert isinstance(node, JoinNode)
+        child_wave = -1
+        for child in node.children:
+            child_wave = max(child_wave, lower(child))
+        if node.algorithm is JoinAlgorithm.LOCAL:
+            # local joins piggyback on the consuming job's map phase
+            return child_wave
+        wave = child_wave + 1
+        schedule.stages.append(
+            Stage(
+                job_id=counter[0],
+                wave=wave,
+                algorithm=node.algorithm,
+                arity=node.arity,
+                input_cardinalities=[c.cardinality for c in node.children],
+                output_cardinality=node.cardinality,
+            )
+        )
+        counter[0] += 1
+        return wave
+
+    lower(plan)
+    return schedule
+
+
+class MapReduceSimulator:
+    """Price a schedule with per-job startup overhead.
+
+    ``makespan`` = Σ over waves of (startup + max data cost in the
+    wave): jobs inside a wave run concurrently, waves are sequential —
+    a faithful reduction of how Hadoop executes a bushy plan's levels.
+    """
+
+    def __init__(
+        self,
+        parameters: CostParameters = PAPER_PARAMETERS,
+        job_startup_cost: float = 0.0,
+    ) -> None:
+        self.parameters = parameters
+        self.job_startup_cost = job_startup_cost
+
+    def makespan(self, schedule: MapReduceSchedule) -> float:
+        """Σ over waves of (startup + max data cost in the wave)."""
+        total = 0.0
+        for wave in range(schedule.wave_count):
+            jobs = schedule.jobs_in_wave(wave)
+            total += self.job_startup_cost + max(
+                job.data_cost(self.parameters) for job in jobs
+            )
+        return total
+
+    def simulate_plan(self, plan: PlanNode) -> Tuple[MapReduceSchedule, float]:
+        """Compile *plan* to stages and price its makespan."""
+        schedule = compile_stages(plan)
+        return schedule, self.makespan(schedule)
+
+
+def overhead_crossover(
+    flat_plan: PlanNode,
+    bushy_plan: PlanNode,
+    parameters: CostParameters = PAPER_PARAMETERS,
+) -> Optional[float]:
+    """The job-startup cost at which *flat_plan* starts beating *bushy_plan*.
+
+    Solves ``flat_data + o·flat_waves = bushy_data + o·bushy_waves`` for
+    the overhead ``o``; returns None when the flat plan never wins (or
+    always wins).
+    """
+    flat = compile_stages(flat_plan)
+    bushy = compile_stages(bushy_plan)
+    simulator = MapReduceSimulator(parameters, job_startup_cost=0.0)
+    flat_data = simulator.makespan(flat) if flat.stages else 0.0
+    bushy_data = simulator.makespan(bushy) if bushy.stages else 0.0
+    wave_difference = bushy.wave_count - flat.wave_count
+    if wave_difference <= 0:
+        return None  # the flat plan is not actually flatter
+    crossover = (flat_data - bushy_data) / wave_difference
+    return max(crossover, 0.0)

@@ -1,0 +1,166 @@
+"""Binding relations: the tuples flowing through the engine.
+
+A :class:`Relation` is a set of rows over a fixed variable schema
+(variables sorted by name, rows as term tuples).  Set semantics are
+used throughout: BGP evaluation is subgraph matching, so a match either
+exists or it does not, and set semantics also absorbs the duplicates
+that replicated partitioning elements (2f, Path-BMC, Hash-SO) produce
+across workers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..rdf.terms import Term, Variable
+from ..rdf.triples import RDFGraph, Triple
+from ..sparql.ast import TriplePattern
+
+Row = Tuple[Term, ...]
+
+
+class Relation:
+    """An immutable-schema set of binding rows."""
+
+    __slots__ = ("variables", "rows", "_positions")
+
+    def __init__(self, variables: Iterable[Variable], rows: Optional[Set[Row]] = None):
+        self.variables: Tuple[Variable, ...] = tuple(
+            sorted(set(variables), key=lambda v: v.name)
+        )
+        self.rows: Set[Row] = rows if rows is not None else set()
+        self._positions: Dict[Variable, int] = {
+            v: i for i, v in enumerate(self.variables)
+        }
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def position(self, variable: Variable) -> int:
+        """Column index of *variable* in the schema."""
+        return self._positions[variable]
+
+    def has_variable(self, variable: Variable) -> bool:
+        """Whether *variable* is part of the schema."""
+        return variable in self._positions
+
+    def value(self, row: Row, variable: Variable) -> Term:
+        """The binding of *variable* in *row*."""
+        return row[self._positions[variable]]
+
+    def add_binding(self, binding: Dict[Variable, Term]) -> None:
+        """Insert one row given as a variable→term mapping."""
+        self.rows.add(tuple(binding[v] for v in self.variables))
+
+    def bindings(self) -> Iterator[Dict[Variable, Term]]:
+        """Rows as variable→term dictionaries (convenience/API surface)."""
+        for row in self.rows:
+            yield {v: row[i] for i, v in enumerate(self.variables)}
+
+    def project(self, variables: Iterable[Variable]) -> "Relation":
+        """Project onto *variables* (set semantics: duplicates collapse)."""
+        kept = [v for v in sorted(set(variables), key=lambda v: v.name)
+                if v in self._positions]
+        positions = [self._positions[v] for v in kept]
+        rows = {tuple(row[p] for p in positions) for row in self.rows}
+        return Relation(kept, rows)
+
+    def union_inplace(self, other: "Relation") -> None:
+        """Add *other*'s rows (schemas must match exactly)."""
+        if other.variables != self.variables:
+            raise ValueError("union requires identical schemas")
+        self.rows.update(other.rows)
+
+    def __repr__(self) -> str:
+        names = ",".join(v.name for v in self.variables)
+        return f"Relation([{names}], {len(self.rows)} rows)"
+
+
+def scan_pattern(graph: RDFGraph, pattern: TriplePattern) -> Relation:
+    """Match one triple pattern against a graph; return its bindings.
+
+    Handles repeated variables within the pattern (``?x p ?x``) by
+    filtering inconsistent matches.
+    """
+    variables = sorted(pattern.variables(), key=lambda v: v.name)
+    relation = Relation(variables)
+    subject = pattern.subject if not isinstance(pattern.subject, Variable) else None
+    predicate = (
+        pattern.predicate if not isinstance(pattern.predicate, Variable) else None
+    )
+    object_ = pattern.object if not isinstance(pattern.object, Variable) else None
+    for triple in graph.match(subject, predicate, object_):
+        binding: Dict[Variable, Term] = {}
+        consistent = True
+        for term, value in (
+            (pattern.subject, triple.subject),
+            (pattern.predicate, triple.predicate),
+            (pattern.object, triple.object),
+        ):
+            if isinstance(term, Variable):
+                if term in binding and binding[term] != value:
+                    consistent = False
+                    break
+                binding[term] = value
+        if consistent:
+            relation.add_binding(binding)
+    return relation
+
+
+def hash_join(left: Relation, right: Relation) -> Relation:
+    """Natural (hash) join on all shared variables.
+
+    With no shared variables this degenerates to a Cartesian product —
+    the optimizer never emits such plans, but the reference evaluator
+    may need it for deliberately disconnected test queries.
+    """
+    shared = [v for v in left.variables if right.has_variable(v)]
+    out_vars = sorted(
+        set(left.variables) | set(right.variables), key=lambda v: v.name
+    )
+    result = Relation(out_vars)
+    if not shared:
+        for lrow in left.rows:
+            lbind = dict(zip(left.variables, lrow))
+            for rrow in right.rows:
+                binding = dict(zip(right.variables, rrow))
+                binding.update(lbind)
+                result.add_binding(binding)
+        return result
+    # build on the smaller side
+    build, probe = (left, right) if len(left) <= len(right) else (right, left)
+    build_positions = [build.position(v) for v in shared]
+    probe_positions = [probe.position(v) for v in shared]
+    table: Dict[Tuple[Term, ...], List[Row]] = {}
+    for row in build.rows:
+        key = tuple(row[p] for p in build_positions)
+        table.setdefault(key, []).append(row)
+    for prow in probe.rows:
+        key = tuple(prow[p] for p in probe_positions)
+        for brow in table.get(key, ()):
+            binding = dict(zip(build.variables, brow))
+            binding.update(zip(probe.variables, prow))
+            result.add_binding(binding)
+    return result
+
+
+def multi_join(relations: List[Relation]) -> Relation:
+    """Join k relations, smallest-first, greedily staying connected."""
+    if not relations:
+        raise ValueError("nothing to join")
+    pending = sorted(relations, key=len)
+    current = pending.pop(0)
+    while pending:
+        index = next(
+            (
+                i
+                for i, rel in enumerate(pending)
+                if any(current.has_variable(v) for v in rel.variables)
+            ),
+            0,
+        )
+        current = hash_join(current, pending.pop(index))
+    return current

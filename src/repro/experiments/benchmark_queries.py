@@ -1,0 +1,91 @@
+"""The 15 benchmark queries (L1–L10, U1–U5) with datasets and statistics.
+
+A process-level cache: generating the LUBM-like and UniProt-like
+datasets and deriving exact statistics takes a few seconds, and every
+table driver needs the same inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from ..core.cardinality import StatisticsCatalog
+from ..rdf.dataset import Dataset
+from ..sparql.ast import BGPQuery
+from ..workloads.lubm import QUERY_SHAPES as LUBM_SHAPES
+from ..workloads.lubm import generate_lubm, lubm_queries
+from ..workloads.uniprot import QUERY_SHAPES as UNIPROT_SHAPES
+from ..workloads.uniprot import generate_uniprot, uniprot_queries
+
+#: the paper's presentation order (Table III: star, chain, tree, dense)
+QUERY_ORDER: Tuple[str, ...] = (
+    "L1",
+    "U1",
+    "L2",
+    "U2",
+    "L3",
+    "L4",
+    "L5",
+    "L6",
+    "U3",
+    "U4",
+    "U5",
+    "L7",
+    "L8",
+    "L9",
+    "L10",
+)
+
+QUERY_SHAPES: Dict[str, str] = {**LUBM_SHAPES, **UNIPROT_SHAPES}
+
+
+@dataclass(frozen=True)
+class BenchmarkQuery:
+    name: str
+    query: BGPQuery
+    dataset: Dataset
+    statistics: StatisticsCatalog
+    shape: str
+
+
+@lru_cache(maxsize=1)
+def lubm_dataset() -> Dataset:
+    return generate_lubm()
+
+
+@lru_cache(maxsize=1)
+def uniprot_dataset() -> Dataset:
+    return generate_uniprot()
+
+
+@lru_cache(maxsize=1)
+def benchmark_queries() -> Dict[str, BenchmarkQuery]:
+    """All 15 queries with their datasets and exact statistics."""
+    result: Dict[str, BenchmarkQuery] = {}
+    lubm = lubm_dataset()
+    for name, query in lubm_queries().items():
+        result[name] = BenchmarkQuery(
+            name=name,
+            query=query,
+            dataset=lubm,
+            statistics=StatisticsCatalog.from_dataset(query, lubm),
+            shape=QUERY_SHAPES[name],
+        )
+    uniprot = uniprot_dataset()
+    for name, query in uniprot_queries().items():
+        result[name] = BenchmarkQuery(
+            name=name,
+            query=query,
+            dataset=uniprot,
+            statistics=StatisticsCatalog.from_dataset(query, uniprot),
+            shape=QUERY_SHAPES[name],
+        )
+    return result
+
+
+def ordered_benchmark_queries() -> List[BenchmarkQuery]:
+    """The 15 queries in the paper's Table III presentation order."""
+    queries = benchmark_queries()
+    return [queries[name] for name in QUERY_ORDER]

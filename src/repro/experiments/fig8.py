@@ -1,0 +1,124 @@
+"""Figure 8 reproduction: cumulative cost-ratio distributions, per shape.
+
+For chain / cycle / tree / dense queries from the random generator,
+each algorithm's plan cost is normalized by TD-CMD's optimal cost for
+the same query; the figure reports the cumulative frequency at ratio
+thresholds 1, 2, 4, 8 (the paper's x-axis ticks).  Only queries that
+TD-CMD finishes within the timeout participate (as in the paper's
+600 s rule).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..core.cardinality import StatisticsCatalog
+from ..core.join_graph import QueryShape
+from ..partitioning import HashSubjectObject
+from ..workloads.generators import generate_query
+from .harness import cumulative_frequency, run_algorithm
+from .tables import render_table, write_report
+
+SHAPES = (QueryShape.CHAIN, QueryShape.CYCLE, QueryShape.TREE, QueryShape.DENSE)
+ALGORITHMS = ("TD-CMDP", "HGR-TD-CMD", "MSC", "DP-Bushy", "TD-Auto")
+THRESHOLDS = (1.0, 2.0, 4.0, 8.0)
+
+
+def run(
+    shapes: Sequence[QueryShape] = SHAPES,
+    sizes: Optional[Sequence[int]] = None,
+    draws: int = 3,
+    timeout_seconds: Optional[float] = None,
+    seed: int = 2017,
+) -> Dict[str, Dict[str, List[float]]]:
+    """ratios[shape][algorithm] = list of cost ratios to TD-CMD."""
+    if sizes is None:
+        sizes = tuple(range(4, 15, 2))
+    minimum = {
+        QueryShape.CHAIN: 2,
+        QueryShape.CYCLE: 3,
+        QueryShape.TREE: 2,
+        QueryShape.DENSE: 4,
+    }
+    rng = random.Random(seed)
+    ratios: Dict[str, Dict[str, List[float]]] = {
+        shape.value: {a: [] for a in ALGORITHMS} for shape in shapes
+    }
+    # once an algorithm times out for a shape, skip it at larger sizes
+    dead: Dict[tuple, bool] = {}
+    for shape in shapes:
+        for size in sizes:
+            if size < minimum[shape]:
+                continue
+            query = generate_query(shape, size, random.Random(rng.randrange(2**31)))
+            for _ in range(draws):
+                catalog = StatisticsCatalog.from_random(
+                    query, random.Random(rng.randrange(2**31))
+                )
+                if dead.get((shape.value, "TD-CMD")):
+                    break
+                reference = run_algorithm(
+                    "TD-CMD",
+                    query,
+                    statistics=catalog,
+                    partitioning=HashSubjectObject(),  # Section V-C setup
+                    timeout_seconds=timeout_seconds,
+                )
+                if reference.timed_out:
+                    dead[(shape.value, "TD-CMD")] = True
+                    break
+                if reference.cost <= 0:
+                    continue
+                for algorithm in ALGORITHMS:
+                    if dead.get((shape.value, algorithm)):
+                        continue
+                    result = run_algorithm(
+                        algorithm,
+                        query,
+                        statistics=catalog,
+                        partitioning=HashSubjectObject(),  # Section V-C setup
+                        timeout_seconds=timeout_seconds,
+                    )
+                    if result.timed_out:
+                        dead[(shape.value, algorithm)] = True
+                    else:
+                        ratios[shape.value][algorithm].append(
+                            result.cost / reference.cost
+                        )
+    return ratios
+
+
+def report(
+    sizes: Optional[Sequence[int]] = None,
+    timeout_seconds: Optional[float] = None,
+) -> str:
+    """Render and persist the Figure 8 report."""
+    ratios = run(sizes=sizes, timeout_seconds=timeout_seconds)
+    sections = []
+    for shape, per_algorithm in ratios.items():
+        rows = []
+        for algorithm, ratio_list in per_algorithm.items():
+            frequencies = cumulative_frequency(ratio_list, THRESHOLDS)
+            rows.append(
+                [algorithm]
+                + [f"{100 * f:.0f}%" for f in frequencies]
+                + [str(len(ratio_list))]
+            )
+        sections.append(
+            render_table(
+                f"Figure 8 ({shape}) — cumulative frequency of cost / TD-CMD",
+                ["Algorithm"] + [f"≤{t:g}x" for t in THRESHOLDS] + ["#Queries"],
+                rows,
+            )
+        )
+    content = "\n".join(sections) + (
+        "\nPaper shape: TD-CMDP and TD-Auto ~100% at 1x; HGR close to 1x; "
+        "MSC <50% at 1x; DP-Bushy ~90% above 1x on dense queries.\n"
+    )
+    write_report("fig8_cost_cdf.txt", content)
+    return content
+
+
+if __name__ == "__main__":
+    print(report())

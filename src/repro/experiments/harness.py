@@ -1,0 +1,160 @@
+"""Shared experiment harness.
+
+Runs any optimizer (ours or a baseline) against a query with a wall
+timeout, returning uniform :class:`AlgorithmRun` records the table and
+figure drivers consume.  The registry covers every algorithm the paper
+evaluates plus the TriAD-style extra baseline.
+
+Scale knobs: the paper ran Java on a server with a 600 s cutoff; this
+reproduction defaults to ``REPRO_TIMEOUT`` seconds (default 15) per
+run so regenerating all tables stays laptop-friendly.  Timed-out runs
+are reported as ``N/A (>Ts)``, exactly how the paper reports MSC on
+L10.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines import DPBushyOptimizer, MSCOptimizer, TriADOptimizer
+from ..core.auto import AutonomousOptimizer
+from ..core.cardinality import StatisticsCatalog
+from ..core.cost import CostParameters, PAPER_PARAMETERS
+from ..core.enumeration import (
+    OptimizationResult,
+    OptimizationTimeout,
+    TopDownEnumerator,
+)
+from ..core.local_query import LocalQueryIndex
+from ..core.optimizer import make_builder
+from ..core.pruning import PrunedTopDownEnumerator
+from ..core.reduction import ReductionOptimizer
+from ..partitioning.base import PartitioningMethod
+from ..rdf.dataset import Dataset
+from ..sparql.ast import BGPQuery
+
+#: every algorithm the experiments compare
+ALGORITHMS: Dict[str, type] = {
+    "TD-CMD": TopDownEnumerator,
+    "TD-CMDP": PrunedTopDownEnumerator,
+    "HGR-TD-CMD": ReductionOptimizer,
+    "TD-Auto": AutonomousOptimizer,
+    "MSC": MSCOptimizer,
+    "DP-Bushy": DPBushyOptimizer,
+    "TriAD-DP": TriADOptimizer,
+}
+
+#: the trio of Table IV/V/VI
+PAPER_TRIO = ("TD-Auto", "MSC", "DP-Bushy")
+
+#: the six lines of Figures 6–8 and Table VII
+FIGURE_SET = ("TD-CMD", "TD-CMDP", "HGR-TD-CMD", "MSC", "DP-Bushy", "TD-Auto")
+
+
+def default_timeout() -> float:
+    """Per-run timeout in seconds (env: ``REPRO_TIMEOUT``)."""
+    return float(os.environ.get("REPRO_TIMEOUT", "15"))
+
+
+def bench_scale() -> float:
+    """Workload scale multiplier for benches (env: ``REPRO_BENCH_SCALE``)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+@dataclass
+class AlgorithmRun:
+    """One (algorithm, query) measurement."""
+
+    algorithm: str
+    query_name: str
+    elapsed_seconds: Optional[float]
+    cost: Optional[float]
+    plans_considered: Optional[int]
+    timed_out: bool
+    timeout_seconds: float
+    result: Optional[OptimizationResult] = None
+
+    @property
+    def time_label(self) -> str:
+        """Human-readable elapsed time, '>Ts' on timeout."""
+        if self.timed_out:
+            return f">{self.timeout_seconds:.0f}s"
+        return f"{self.elapsed_seconds:.3f}s"
+
+    @property
+    def cost_label(self) -> str:
+        """Scientific-notation plan cost, 'N/A' on timeout."""
+        if self.timed_out or self.cost is None:
+            return "N/A"
+        return f"{self.cost:.2E}"
+
+    @property
+    def plans_label(self) -> str:
+        """Thousands-separated plan count, 'N/A' on timeout."""
+        if self.timed_out or self.plans_considered is None:
+            return "N/A"
+        return f"{self.plans_considered:,}"
+
+
+def run_algorithm(
+    algorithm: str,
+    query: BGPQuery,
+    statistics: Optional[StatisticsCatalog] = None,
+    dataset: Optional[Dataset] = None,
+    partitioning: Optional[PartitioningMethod] = None,
+    timeout_seconds: Optional[float] = None,
+    parameters: CostParameters = PAPER_PARAMETERS,
+    seed: int = 0,
+) -> AlgorithmRun:
+    """Run one optimizer on one query with a timeout; never raises."""
+    if timeout_seconds is None:
+        timeout_seconds = default_timeout()
+    implementation = ALGORITHMS[algorithm]
+    builder = make_builder(query, statistics, dataset, parameters, seed)
+    local_index = LocalQueryIndex(builder.join_graph, partitioning)
+    optimizer = implementation(
+        builder.join_graph,
+        builder,
+        local_index=local_index,
+        timeout_seconds=timeout_seconds,
+    )
+    started = time.perf_counter()
+    try:
+        result = optimizer.optimize()
+    except OptimizationTimeout:
+        return AlgorithmRun(
+            algorithm=algorithm,
+            query_name=query.name,
+            elapsed_seconds=None,
+            cost=None,
+            plans_considered=getattr(
+                getattr(optimizer, "stats", None), "plans_considered", None
+            ),
+            timed_out=True,
+            timeout_seconds=timeout_seconds,
+        )
+    elapsed = time.perf_counter() - started
+    return AlgorithmRun(
+        algorithm=algorithm,
+        query_name=query.name,
+        elapsed_seconds=elapsed,
+        cost=result.cost,
+        plans_considered=result.stats.plans_considered,
+        timed_out=False,
+        timeout_seconds=timeout_seconds,
+        result=result,
+    )
+
+
+def cumulative_frequency(
+    ratios: Sequence[float], thresholds: Sequence[float] = (1, 2, 4, 8)
+) -> List[float]:
+    """Fraction of ratios ≤ each threshold (the Fig. 6b/8 y-axis)."""
+    if not ratios:
+        return [0.0 for _ in thresholds]
+    return [
+        sum(1 for r in ratios if r <= t + 1e-9) / len(ratios) for t in thresholds
+    ]

@@ -1,0 +1,124 @@
+"""Table V reproduction: query processing time on the simulated cluster.
+
+Plans from TD-Auto / MSC / DP-Bushy execute on a 10-worker simulated
+cluster with Hash-SO partitioning; TD-Auto additionally runs with 2f
+and Path-BMC (only the partition-aware optimizer can exploit them).
+"Time" is the cost-model-priced critical path over *measured* tuple
+counts (deterministic), with wall-clock seconds reported alongside.
+
+Expected shape: TD-Auto ≥ baselines on chain/tree/dense; with Path-BMC
+every benchmark query becomes local → order-of-magnitude improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..engine import Cluster, Executor, evaluate_reference
+from ..partitioning import HashSubjectObject, PathBMC, SemanticHash
+from .benchmark_queries import ordered_benchmark_queries
+from .harness import run_algorithm
+from .tables import render_table, write_report
+
+CLUSTER_SIZE = 10
+
+
+@dataclass
+class ExecutionRow:
+    label: str  # "<partitioning>/<algorithm>"
+    simulated_time: Optional[float]
+    wall_seconds: Optional[float]
+    rows: Optional[int]
+    correct: Optional[bool]
+
+    @property
+    def time_label(self) -> str:
+        """Simulated time, 'N/A' when the optimizer timed out."""
+        if self.simulated_time is None:
+            return "N/A"
+        return f"{self.simulated_time:.2f}"
+
+
+def run(timeout_seconds: Optional[float] = None) -> Dict[str, List[ExecutionRow]]:
+    """Execute every configuration; verify results against the reference."""
+    configurations = [
+        ("Hash-SO", HashSubjectObject(), "TD-Auto"),
+        ("Hash-SO", HashSubjectObject(), "MSC"),
+        ("Hash-SO", HashSubjectObject(), "DP-Bushy"),
+        ("2f", SemanticHash(2), "TD-Auto"),
+        ("Path-BMC", PathBMC(), "TD-Auto"),
+    ]
+    clusters: Dict[str, Dict[int, Cluster]] = {}
+    results: Dict[str, List[ExecutionRow]] = {}
+    for bench in ordered_benchmark_queries():
+        reference = evaluate_reference(bench.query, bench.dataset.graph)
+        rows: List[ExecutionRow] = []
+        for part_label, method, algorithm in configurations:
+            label = f"{part_label}/{algorithm}"
+            run_result = run_algorithm(
+                algorithm,
+                bench.query,
+                statistics=bench.statistics,
+                partitioning=method,
+                timeout_seconds=timeout_seconds,
+            )
+            if run_result.timed_out:
+                rows.append(ExecutionRow(label, None, None, None, None))
+                continue
+            cache = clusters.setdefault(part_label, {})
+            key = id(bench.dataset)
+            if key not in cache:
+                cache[key] = Cluster.build(bench.dataset, method, CLUSTER_SIZE)
+            cluster = cache[key]
+            relation, metrics = Executor(cluster).execute(
+                run_result.result.plan, bench.query
+            )
+            projected_reference = reference
+            rows.append(
+                ExecutionRow(
+                    label=label,
+                    simulated_time=metrics.critical_path_cost,
+                    wall_seconds=metrics.wall_seconds,
+                    rows=len(relation),
+                    correct=relation.rows == projected_reference.rows,
+                )
+            )
+        results[bench.name] = rows
+    return results
+
+
+def report(timeout_seconds: Optional[float] = None) -> str:
+    """Render and persist the Table V report."""
+    results = run(timeout_seconds=timeout_seconds)
+    labels = [row.label for row in next(iter(results.values()))]
+    rows: List[List[str]] = []
+    for query_name, per_query in results.items():
+        rows.append([query_name] + [row.time_label for row in per_query])
+    incorrect = [
+        (q, row.label)
+        for q, per_query in results.items()
+        for row in per_query
+        if row.correct is False
+    ]
+    note = (
+        "Simulated time = cost-model-priced critical path over measured tuple "
+        "movement on a 10-worker cluster. "
+        + (
+            "ALL RESULTS MATCH the single-node reference evaluation."
+            if not incorrect
+            else f"MISMATCHES: {incorrect}"
+        )
+    )
+    content = render_table(
+        "Table V — Query processing time (simulated cluster)",
+        ["Query"] + labels,
+        rows,
+        note=note,
+    )
+    write_report("table5_processing_time.txt", content)
+    return content
+
+
+if __name__ == "__main__":
+    print(report())

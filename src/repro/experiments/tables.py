@@ -1,0 +1,48 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    note: str = "",
+) -> str:
+    """Render an aligned ASCII table with a title and optional footnote."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row has {len(row)} cells, expected {columns}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = [title, "=" * len(title)]
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines) + "\n"
+
+
+def results_dir() -> Path:
+    """Where experiment reports are written (created on demand)."""
+    path = Path(__file__).resolve().parents[3] / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+def write_report(name: str, content: str) -> Path:
+    """Write a report file under ``results/`` and return its path."""
+    path = results_dir() / name
+    path.write_text(content, encoding="utf-8")
+    return path

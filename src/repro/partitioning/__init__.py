@@ -1,0 +1,27 @@
+"""Generic RDF data partitioning model and concrete methods."""
+
+from .base import Partitioning, PartitioningMethod, hash_term
+from .dynamic import DynamicPartitioning
+from .hash_so import HashSubjectObject
+from .path_bmc import PathBMC
+from .semantic_hash import SemanticHash
+from .uno_hop import UndirectedOneHop, greedy_edge_cut_partition
+
+__all__ = [
+    "PartitioningMethod",
+    "Partitioning",
+    "hash_term",
+    "HashSubjectObject",
+    "DynamicPartitioning",
+    "SemanticHash",
+    "PathBMC",
+    "UndirectedOneHop",
+    "greedy_edge_cut_partition",
+]
+
+#: methods used in the paper's Table V, by table label
+METHODS = {
+    "Hash-SO": HashSubjectObject,
+    "2f": SemanticHash,
+    "Path-BMC": PathBMC,
+}

@@ -1,0 +1,150 @@
+"""The generic RDF data partitioning model (Section II-C).
+
+Every static partitioning method is described by two functions:
+
+* ``combine(v, G)`` — assemble the triples *correlated to* vertex ``v``
+  into an indivisible partitioning element ``e_v``;
+* ``distribute(e_v)`` — place each element on a computing node.
+
+The same ``combine`` applied to the *query graph* G_Q yields the
+*maximal local query* anchored at each query vertex (Appendix A,
+Definition 5): any subquery contained in some maximal local query can
+be answered with local joins only.  This is what makes the optimizer
+partition-aware without being coupled to a specific method.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+from ..rdf.dataset import Dataset
+from ..rdf.terms import PatternTerm, Term
+from ..rdf.triples import RDFGraph, Triple
+from ..sparql.ast import BGPQuery, TriplePattern
+from ..sparql.query_graph import QueryGraph
+
+
+@dataclass
+class Partitioning:
+    """The outcome of partitioning a dataset across ``n`` nodes."""
+
+    method_name: str
+    node_graphs: List[RDFGraph]
+    #: vertex -> node index chosen by ``distribute`` (one entry per anchor)
+    vertex_placement: Dict[Term, int] = field(default_factory=dict)
+
+    @property
+    def cluster_size(self) -> int:
+        """Number of nodes the data was distributed over."""
+        return len(self.node_graphs)
+
+    def total_stored_triples(self) -> int:
+        """Stored triples including duplicates across nodes."""
+        return sum(len(g) for g in self.node_graphs)
+
+    def replication_factor(self, original_count: int) -> float:
+        """Stored / original triple count (≥ 1 when nothing is lost)."""
+        if original_count == 0:
+            return 1.0
+        return self.total_stored_triples() / original_count
+
+    def imbalance(self) -> float:
+        """max node load / mean node load (1.0 = perfectly balanced)."""
+        sizes = [len(g) for g in self.node_graphs]
+        mean = sum(sizes) / len(sizes)
+        if mean == 0:
+            return 1.0
+        return max(sizes) / mean
+
+
+class PartitioningMethod(abc.ABC):
+    """A static partitioning method in the generic combine/distribute model."""
+
+    #: short identifier used in experiment tables
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # the two conceptual phases, on data
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def combine(self, vertex: Term, graph: RDFGraph) -> FrozenSet[Triple]:
+        """The partitioning element ``e_v`` anchored at *vertex* (Eq. 1)."""
+
+    def anchors(self, graph: RDFGraph) -> Iterable[Term]:
+        """Vertices at which elements are anchored (default: all of V_R)."""
+        return graph.vertices
+
+    @abc.abstractmethod
+    def distribute(
+        self, elements: Dict[Term, FrozenSet[Triple]], cluster_size: int
+    ) -> Dict[Term, int]:
+        """Assign each element's anchor vertex to a node (Eq. 2)."""
+
+    # ------------------------------------------------------------------
+    # the same combine, on the query graph
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def combine_query(
+        self, vertex: PatternTerm, query_graph: QueryGraph
+    ) -> FrozenSet[TriplePattern]:
+        """``combine(v, G_Q)``: the maximal local query anchored at *v*."""
+
+    # ------------------------------------------------------------------
+    # derived functionality
+    # ------------------------------------------------------------------
+    def partition(self, dataset: Dataset, cluster_size: int) -> Partitioning:
+        """Run both phases and materialize per-node graphs."""
+        if cluster_size < 1:
+            raise ValueError("cluster size must be at least 1")
+        graph = dataset.graph
+        elements: Dict[Term, FrozenSet[Triple]] = {}
+        for vertex in self.anchors(graph):
+            element = self.combine(vertex, graph)
+            if element:
+                elements[vertex] = element
+        placement = self.distribute(elements, cluster_size)
+        node_graphs = [RDFGraph() for _ in range(cluster_size)]
+        for vertex, element in elements.items():
+            node = placement[vertex]
+            node_graphs[node].add_all(element)
+        return Partitioning(
+            method_name=self.name,
+            node_graphs=node_graphs,
+            vertex_placement=placement,
+        )
+
+    def maximal_local_queries(self, query: BGPQuery) -> List[FrozenSet[TriplePattern]]:
+        """All distinct maximal local queries of *query* (Appendix A).
+
+        One candidate per query-graph vertex; duplicates and empty sets
+        are dropped, and sets contained in another candidate are removed
+        (they detect nothing extra).
+        """
+        query_graph = QueryGraph(query)
+        candidates: Set[FrozenSet[TriplePattern]] = set()
+        for vertex in query_graph.vertices:
+            mlq = self.combine_query(vertex, query_graph)
+            if mlq:
+                candidates.add(mlq)
+        # drop candidates strictly contained in others
+        maximal = [
+            c
+            for c in candidates
+            if not any(c < other for other in candidates)
+        ]
+        maximal.sort(key=lambda s: (-len(s), sorted(str(tp) for tp in s)))
+        return maximal
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def hash_term(term: Term, cluster_size: int) -> int:
+    """Deterministic term-to-node hash (stable across runs and processes)."""
+    text = str(term)
+    value = 5381
+    for char in text:
+        value = ((value * 33) ^ ord(char)) & 0xFFFFFFFF
+    return value % cluster_size

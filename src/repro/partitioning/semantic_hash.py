@@ -1,0 +1,52 @@
+"""Semantic hash partitioning: k-hop forward expansion ("2f").
+
+Lee & Liu's semantic hash partitioning (VLDB 2014) extends each vertex
+with its k-hop *forward* (directed) neighborhood before hashing the
+anchor.  The paper uses the 2-hop forward variant, "2f": a query whose
+patterns all lie within two forward hops of some query vertex is local.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from ..rdf.terms import PatternTerm, Term
+from ..rdf.triples import RDFGraph, Triple
+from ..sparql.ast import TriplePattern
+from ..sparql.query_graph import QueryGraph
+from .base import PartitioningMethod, hash_term
+
+
+class SemanticHash(PartitioningMethod):
+    """k-hop forward semantic hash partitioning (default: 2f)."""
+
+    def __init__(self, hops: int = 2) -> None:
+        if hops < 1:
+            raise ValueError("hops must be at least 1")
+        self.hops = hops
+        self.name = f"{hops}f"
+
+    def combine(self, vertex: Term, graph: RDFGraph) -> FrozenSet[Triple]:
+        element: Set[Triple] = set()
+        frontier: Set[Term] = {vertex}
+        for _ in range(self.hops):
+            next_frontier: Set[Term] = set()
+            for v in frontier:
+                for t in graph.out_edges(v):
+                    if t not in element:
+                        element.add(t)
+                        next_frontier.add(t.object)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return frozenset(element)
+
+    def distribute(
+        self, elements: Dict[Term, FrozenSet[Triple]], cluster_size: int
+    ) -> Dict[Term, int]:
+        return {vertex: hash_term(vertex, cluster_size) for vertex in elements}
+
+    def combine_query(
+        self, vertex: PatternTerm, query_graph: QueryGraph
+    ) -> FrozenSet[TriplePattern]:
+        return query_graph.patterns_within_forward_hops(vertex, self.hops)

@@ -1,0 +1,81 @@
+"""Dataset container with global statistics.
+
+A :class:`Dataset` bundles an :class:`~repro.rdf.triples.RDFGraph` with
+the summary statistics the optimizer's cardinality estimator consumes:
+per-predicate triple counts and distinct subject/object counts.  The
+statistics mirror what RDF-3X exposes to its optimizer in the paper's
+prototype.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from .terms import Term
+from .triples import RDFGraph, Triple
+
+
+@dataclass
+class PredicateStatistics:
+    """Summary statistics for one predicate."""
+
+    triple_count: int = 0
+    distinct_subjects: int = 0
+    distinct_objects: int = 0
+
+
+class Dataset:
+    """An RDF graph plus the statistics the optimizer needs.
+
+    Statistics are computed once on construction (or :meth:`refresh`) and
+    then served in O(1).
+    """
+
+    def __init__(self, graph: Optional[RDFGraph] = None, name: str = "dataset") -> None:
+        self.graph = graph if graph is not None else RDFGraph()
+        self.name = name
+        self._predicate_stats: Dict[Term, PredicateStatistics] = {}
+        self.refresh()
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[Triple], name: str = "dataset") -> "Dataset":
+        return cls(RDFGraph(triples), name=name)
+
+    def refresh(self) -> None:
+        """Recompute all statistics from the current graph contents."""
+        subjects: Dict[Term, set] = defaultdict(set)
+        objects: Dict[Term, set] = defaultdict(set)
+        counts: Dict[Term, int] = defaultdict(int)
+        for t in self.graph:
+            counts[t.predicate] += 1
+            subjects[t.predicate].add(t.subject)
+            objects[t.predicate].add(t.object)
+        self._predicate_stats = {
+            p: PredicateStatistics(
+                triple_count=counts[p],
+                distinct_subjects=len(subjects[p]),
+                distinct_objects=len(objects[p]),
+            )
+            for p in counts
+        }
+
+    # ------------------------------------------------------------------
+    # statistics accessors
+    # ------------------------------------------------------------------
+    @property
+    def triple_count(self) -> int:
+        """Number of triples in the underlying graph."""
+        return len(self.graph)
+
+    def predicate_statistics(self, predicate: Term) -> PredicateStatistics:
+        """Statistics for *predicate* (zeros if unseen)."""
+        return self._predicate_stats.get(predicate, PredicateStatistics())
+
+    def predicate_cardinality(self, predicate: Term) -> int:
+        """Triple count for *predicate* (zero if unseen)."""
+        return self.predicate_statistics(predicate).triple_count
+
+    def __repr__(self) -> str:
+        return f"Dataset({self.name!r}, {self.triple_count} triples)"

@@ -1,0 +1,106 @@
+"""RDF term model.
+
+Terms are the atoms of the RDF data model: IRIs, literals, and blank
+nodes.  Query variables (``?x``) are also modeled here because triple
+patterns mix variables with concrete terms.
+
+All terms are immutable, hashable, and ordered, so they can be used as
+dictionary keys, set members, and sort keys throughout the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class IRI:
+    """An IRI reference, e.g. ``<http://example.org/alice>``."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return f"<{self.value}>"
+
+    @property
+    def is_variable(self) -> bool:
+        """Whether this term is a query variable."""
+        return False
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Literal:
+    """An RDF literal with optional datatype IRI and language tag.
+
+    ``datatype`` and ``language`` are mutually exclusive per the RDF 1.1
+    specification; plain literals leave both empty.
+    """
+
+    lexical: str
+    datatype: str = ""
+    language: str = ""
+
+    def __post_init__(self) -> None:
+        if self.datatype and self.language:
+            raise ValueError("a literal cannot have both datatype and language")
+
+    def __str__(self) -> str:
+        escaped = (
+            self.lexical.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+        )
+        if self.language:
+            return f'"{escaped}"@{self.language}'
+        if self.datatype:
+            return f'"{escaped}"^^<{self.datatype}>'
+        return f'"{escaped}"'
+
+    @property
+    def is_variable(self) -> bool:
+        """Whether this term is a query variable."""
+        return False
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class BlankNode:
+    """A blank node, e.g. ``_:b42``."""
+
+    label: str
+
+    def __str__(self) -> str:
+        return f"_:{self.label}"
+
+    @property
+    def is_variable(self) -> bool:
+        """Whether this term is a query variable."""
+        return False
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Variable:
+    """A SPARQL query variable, e.g. ``?x``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+    @property
+    def is_variable(self) -> bool:
+        """Whether this term is a query variable."""
+        return True
+
+
+#: A concrete RDF term (anything that may appear in data).
+Term = Union[IRI, Literal, BlankNode]
+
+#: Anything that may appear in a triple pattern.
+PatternTerm = Union[IRI, Literal, BlankNode, Variable]
+
+
+def is_concrete(term: PatternTerm) -> bool:
+    """Return True if *term* is a concrete RDF term (not a variable)."""
+    return not isinstance(term, Variable)

@@ -1,0 +1,230 @@
+"""Triples and the in-memory RDF graph.
+
+:class:`RDFGraph` is the storage substrate of the reproduction: a fully
+indexed in-memory triple store playing the role RDF-3X plays in the
+paper's prototype.  It maintains all six permutation indexes
+(SPO, SOP, PSO, POS, OSP, OPS) so that any triple-pattern access path is
+a hash/sort lookup, plus adjacency indexes used by the partitioning
+algorithms (outgoing/incoming edges per vertex).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .terms import IRI, BlankNode, Literal, Term, Variable
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Triple:
+    """An RDF triple ``(subject, predicate, object)``."""
+
+    subject: Term
+    predicate: Term
+    object: Term
+
+    def __str__(self) -> str:
+        return f"{self.subject} {self.predicate} {self.object} ."
+
+    def terms(self) -> Tuple[Term, Term, Term]:
+        """The (subject, predicate, object) tuple."""
+        return (self.subject, self.predicate, self.object)
+
+
+class RDFGraph:
+    """A directed labeled graph G_R = (V_R, E_R) over RDF triples.
+
+    Vertices are the subjects and objects of the stored triples; each
+    edge carries its predicate as the label (Section II-A of the paper).
+
+    The graph supports:
+
+    * pattern matching with any combination of bound/unbound positions,
+    * vertex-neighborhood queries used by the ``combine`` functions of
+      the generic partitioning model (Section II-C),
+    * deterministic iteration (insertion order is preserved).
+    """
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None) -> None:
+        self._triples: Dict[Triple, None] = {}
+        # permutation indexes: leading-term lookup dictionaries
+        self._spo: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        # adjacency: vertex -> triples where the vertex is subject/object
+        self._out: Dict[Term, List[Triple]] = defaultdict(list)
+        self._in: Dict[Term, List[Triple]] = defaultdict(list)
+        if triples is not None:
+            for triple in triples:
+                self.add(triple)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, triple: Triple) -> bool:
+        """Insert *triple*; return False if it was already present."""
+        if triple in self._triples:
+            return False
+        self._triples[triple] = None
+        s, p, o = triple.terms()
+        self._spo[s][p].add(o)
+        self._pos[p][o].add(s)
+        self._osp[o][s].add(p)
+        self._out[s].append(triple)
+        self._in[o].append(triple)
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert every triple; return the number actually added."""
+        return sum(1 for t in triples if self.add(t))
+
+    def discard(self, triple: Triple) -> bool:
+        """Remove *triple* if present; return whether it was removed."""
+        if triple not in self._triples:
+            return False
+        del self._triples[triple]
+        s, p, o = triple.terms()
+        self._spo[s][p].discard(o)
+        self._pos[p][o].discard(s)
+        self._osp[o][s].discard(p)
+        self._out[s].remove(triple)
+        self._in[o].remove(triple)
+        return True
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    @property
+    def vertices(self) -> Set[Term]:
+        """All subjects and objects (V_R)."""
+        verts: Set[Term] = set()
+        verts.update(self._out.keys())
+        verts.update(self._in.keys())
+        return {v for v in verts if self._out[v] or self._in[v]}
+
+    @property
+    def predicates(self) -> Set[Term]:
+        """All predicates with at least one stored triple."""
+        return {p for p, objs in self._pos.items() if any(objs.values())}
+
+    def out_edges(self, vertex: Term) -> List[Triple]:
+        """Triples whose subject is *vertex*."""
+        return list(self._out.get(vertex, ()))
+
+    def in_edges(self, vertex: Term) -> List[Triple]:
+        """Triples whose object is *vertex*."""
+        return list(self._in.get(vertex, ()))
+
+    def edges(self, vertex: Term) -> List[Triple]:
+        """All triples incident to *vertex* (subject or object)."""
+        seen: Dict[Triple, None] = {}
+        for t in self._out.get(vertex, ()):
+            seen[t] = None
+        for t in self._in.get(vertex, ()):
+            seen[t] = None
+        return list(seen)
+
+    def neighbors(self, vertex: Term) -> Set[Term]:
+        """Vertices one (undirected) hop from *vertex*."""
+        result: Set[Term] = set()
+        for t in self._out.get(vertex, ()):
+            result.add(t.object)
+        for t in self._in.get(vertex, ()):
+            result.add(t.subject)
+        result.discard(vertex)
+        return result
+
+    # ------------------------------------------------------------------
+    # pattern matching
+    # ------------------------------------------------------------------
+    def match(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        object: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Yield triples matching the bound positions.
+
+        ``None`` (or a :class:`Variable`) means "any value".  The most
+        selective permutation index available is used.
+        """
+        s = None if isinstance(subject, Variable) else subject
+        p = None if isinstance(predicate, Variable) else predicate
+        o = None if isinstance(object, Variable) else object
+
+        if s is not None and p is not None and o is not None:
+            triple = Triple(s, p, o)
+            if triple in self._triples:
+                yield triple
+            return
+        if s is not None and p is not None:
+            for obj in self._spo.get(s, {}).get(p, ()):
+                yield Triple(s, p, obj)
+            return
+        if p is not None and o is not None:
+            for subj in self._pos.get(p, {}).get(o, ()):
+                yield Triple(subj, p, o)
+            return
+        if s is not None and o is not None:
+            for pred in self._osp.get(o, {}).get(s, ()):
+                yield Triple(s, pred, o)
+            return
+        if s is not None:
+            yield from self._out.get(s, ())
+            return
+        if o is not None:
+            yield from self._in.get(o, ())
+            return
+        if p is not None:
+            for obj, subjects in self._pos.get(p, {}).items():
+                for subj in subjects:
+                    yield Triple(subj, p, obj)
+            return
+        yield from self._triples
+
+    def count(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        object: Optional[Term] = None,
+    ) -> int:
+        """Number of triples matching the bound positions."""
+        return sum(1 for _ in self.match(subject, predicate, object))
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    def copy(self) -> "RDFGraph":
+        """An independent copy of this graph."""
+        return RDFGraph(self._triples)
+
+    def __repr__(self) -> str:
+        return f"RDFGraph({len(self)} triples, {len(self.vertices)} vertices)"
+
+
+def triple(s: str, p: str, o: str) -> Triple:
+    """Shorthand constructor used pervasively by tests and generators.
+
+    Strings are interpreted as IRIs unless they start with ``"`` (literal)
+    or ``_:`` (blank node).
+    """
+    return Triple(_term(s), _term(p), _term(o))
+
+
+def _term(text: str) -> Term:
+    if text.startswith('"'):
+        return Literal(text.strip('"'))
+    if text.startswith("_:"):
+        return BlankNode(text[2:])
+    return IRI(text)

@@ -1,0 +1,13 @@
+"""SPARQL substrate: AST, parser, and query graph."""
+
+from .ast import BGPQuery, TriplePattern
+from .parser import SPARQLSyntaxError, parse_query
+from .query_graph import QueryGraph
+
+__all__ = [
+    "BGPQuery",
+    "TriplePattern",
+    "QueryGraph",
+    "parse_query",
+    "SPARQLSyntaxError",
+]

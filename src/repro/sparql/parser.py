@@ -1,0 +1,254 @@
+"""A recursive-descent parser for the SPARQL subset the paper uses.
+
+Supports::
+
+    PREFIX ns: <iri>
+    SELECT ?a ?b WHERE { <s> ns:p ?a . ?a ns:q "lit" . }
+    SELECT * WHERE { ... }
+
+which covers every benchmark query in the paper (L1–L10, U1–U5) and
+everything the workload generators emit.  Unsupported SPARQL constructs
+(OPTIONAL, FILTER, UNION, property paths, ...) raise
+:class:`SPARQLSyntaxError` with a position, rather than being silently
+ignored.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from ..rdf.terms import IRI, Literal, PatternTerm, Variable
+from .ast import BGPQuery, TriplePattern
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>\#[^\n]*)
+  | (?P<IRI><[^<>\s]*>)
+  | (?P<VAR>[?$][A-Za-z_][A-Za-z_0-9]*)
+  | (?P<LITERAL>"(?:[^"\\]|\\.)*"(?:@[A-Za-z0-9-]+|\^\^<[^<>\s]*>)?)
+  | (?P<PNAME_LN>(?:[A-Za-z_][A-Za-z_0-9\-]*)?:(?:[A-Za-z_0-9.\-]*[A-Za-z_0-9\-])?)
+  | (?P<KEYWORD>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<NUMBER>[+-]?\d+(?:\.\d+)?)
+  | (?P<PUNCT>[{}.;,*])
+    """,
+    re.VERBOSE,
+)
+
+_RDF_TYPE = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+
+class SPARQLSyntaxError(ValueError):
+    """Raised when the query text cannot be parsed."""
+
+    def __init__(self, message: str, position: int = 0) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class _Token:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SPARQLSyntaxError(f"unexpected character {text[pos]!r}", pos)
+        kind = match.lastgroup or ""
+        if kind not in ("WS", "COMMENT"):
+            tokens.append(_Token(kind, match.group(0), pos))
+        pos = match.end()
+    tokens.append(_Token("EOF", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.prefixes: Dict[str, str] = {}
+
+    # -- token helpers -------------------------------------------------
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect_punct(self, char: str) -> _Token:
+        token = self.peek()
+        if token.kind != "PUNCT" or token.text != char:
+            raise SPARQLSyntaxError(f"expected {char!r}, got {token.text!r}", token.pos)
+        return self.advance()
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return token.kind == "KEYWORD" and token.text.upper() == word
+
+    def expect_keyword(self, word: str) -> _Token:
+        token = self.peek()
+        if not self.at_keyword(word):
+            raise SPARQLSyntaxError(f"expected {word}, got {token.text!r}", token.pos)
+        return self.advance()
+
+    # -- grammar -------------------------------------------------------
+    def parse_query(self, name: str = "") -> BGPQuery:
+        while self.at_keyword("PREFIX"):
+            self.parse_prefix()
+        self.expect_keyword("SELECT")
+        projection = self.parse_projection()
+        self.expect_keyword("WHERE")
+        patterns = self.parse_group_graph_pattern()
+        token = self.peek()
+        if token.kind != "EOF":
+            raise SPARQLSyntaxError(f"trailing content {token.text!r}", token.pos)
+        if not patterns:
+            raise SPARQLSyntaxError("empty graph pattern", token.pos)
+        return BGPQuery(patterns, projection=projection, name=name)
+
+    def parse_prefix(self) -> None:
+        self.expect_keyword("PREFIX")
+        token = self.advance()
+        if token.kind == "PNAME_LN" and token.text.endswith(":"):
+            prefix = token.text[:-1]
+        elif token.kind == "PNAME_LN":
+            raise SPARQLSyntaxError("prefix declaration must end with ':'", token.pos)
+        else:
+            raise SPARQLSyntaxError(f"expected prefix name, got {token.text!r}", token.pos)
+        iri_token = self.advance()
+        if iri_token.kind != "IRI":
+            raise SPARQLSyntaxError("expected IRI after prefix name", iri_token.pos)
+        self.prefixes[prefix] = iri_token.text[1:-1]
+
+    def parse_projection(self) -> Optional[List[Variable]]:
+        token = self.peek()
+        if token.kind == "PUNCT" and token.text == "*":
+            self.advance()
+            return None
+        variables: List[Variable] = []
+        while self.peek().kind == "VAR":
+            variables.append(Variable(self.advance().text[1:]))
+        if not variables:
+            raise SPARQLSyntaxError("expected '*' or at least one variable", token.pos)
+        return variables
+
+    def parse_group_graph_pattern(self) -> List[TriplePattern]:
+        self.expect_punct("{")
+        patterns: List[TriplePattern] = []
+        while True:
+            token = self.peek()
+            if token.kind == "PUNCT" and token.text == "}":
+                self.advance()
+                return patterns
+            if token.kind == "EOF":
+                raise SPARQLSyntaxError("unterminated graph pattern", token.pos)
+            if token.kind == "KEYWORD" and token.text.upper() in (
+                "OPTIONAL",
+                "FILTER",
+                "UNION",
+                "GRAPH",
+                "MINUS",
+                "BIND",
+                "VALUES",
+            ):
+                raise SPARQLSyntaxError(
+                    f"{token.text.upper()} is outside the supported BGP subset",
+                    token.pos,
+                )
+            patterns.extend(self.parse_triples_same_subject())
+            token = self.peek()
+            if token.kind == "PUNCT" and token.text == ".":
+                self.advance()
+
+    def parse_triples_same_subject(self) -> List[TriplePattern]:
+        subject = self.parse_term(position="subject")
+        patterns: List[TriplePattern] = []
+        while True:
+            predicate = self.parse_verb()
+            obj = self.parse_term(position="object")
+            patterns.append(TriplePattern(subject, predicate, obj))
+            token = self.peek()
+            if token.kind == "PUNCT" and token.text == ";":
+                self.advance()
+                # allow trailing ';' before '.' or '}'
+                nxt = self.peek()
+                if nxt.kind == "PUNCT" and nxt.text in ".}":
+                    return patterns
+                continue
+            return patterns
+
+    def parse_verb(self) -> PatternTerm:
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.text == "a":
+            self.advance()
+            return _RDF_TYPE
+        return self.parse_term(position="predicate")
+
+    def parse_term(self, position: str) -> PatternTerm:
+        token = self.advance()
+        if token.kind == "IRI":
+            return IRI(token.text[1:-1])
+        if token.kind == "VAR":
+            return Variable(token.text[1:])
+        if token.kind == "LITERAL":
+            if position != "object":
+                raise SPARQLSyntaxError(f"literal in {position} position", token.pos)
+            return _parse_literal(token.text)
+        if token.kind == "PNAME_LN":
+            return self.expand_pname(token)
+        if token.kind == "NUMBER":
+            if position != "object":
+                raise SPARQLSyntaxError(f"number in {position} position", token.pos)
+            datatype = (
+                "http://www.w3.org/2001/XMLSchema#decimal"
+                if "." in token.text
+                else "http://www.w3.org/2001/XMLSchema#integer"
+            )
+            return Literal(token.text, datatype=datatype)
+        raise SPARQLSyntaxError(f"unexpected token {token.text!r}", token.pos)
+
+    def expand_pname(self, token: _Token) -> IRI:
+        prefix, _, local = token.text.partition(":")
+        if prefix not in self.prefixes:
+            raise SPARQLSyntaxError(f"undeclared prefix {prefix!r}", token.pos)
+        return IRI(self.prefixes[prefix] + local)
+
+
+def _parse_literal(text: str) -> Literal:
+    body_end = text.rfind('"')
+    body = text[1:body_end]
+    body = (
+        body.replace("\\n", "\n")
+        .replace("\\r", "\r")
+        .replace("\\t", "\t")
+        .replace('\\"', '"')
+        .replace("\\\\", "\\")
+    )
+    suffix = text[body_end + 1 :]
+    if suffix.startswith("@"):
+        return Literal(body, language=suffix[1:])
+    if suffix.startswith("^^<"):
+        return Literal(body, datatype=suffix[3:-1])
+    return Literal(body)
+
+
+def parse_query(text: str, name: str = "") -> BGPQuery:
+    """Parse a SPARQL SELECT/BGP query into a :class:`BGPQuery`.
+
+    Raises :class:`SPARQLSyntaxError` on malformed or unsupported input.
+    """
+    return _Parser(text).parse_query(name=name)

@@ -1,0 +1,108 @@
+"""The query graph G_Q = (V_Q, E_Q).
+
+The query graph is the directed labeled graph whose vertices are the
+subjects and objects of the query's triple patterns and whose edges are
+the patterns themselves (Section II-A).  The partitioning model's
+``combine`` function runs on this graph to derive maximal local queries
+(Appendix A), so the graph exposes the same neighborhood operations as
+:class:`~repro.rdf.triples.RDFGraph`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Set
+
+from ..rdf.terms import PatternTerm
+from .ast import BGPQuery, TriplePattern
+
+
+class QueryGraph:
+    """Directed labeled graph view of a BGP query."""
+
+    def __init__(self, query: BGPQuery) -> None:
+        self.query = query
+        self._out: Dict[PatternTerm, List[TriplePattern]] = defaultdict(list)
+        self._in: Dict[PatternTerm, List[TriplePattern]] = defaultdict(list)
+        for tp in query:
+            self._out[tp.subject].append(tp)
+            self._in[tp.object].append(tp)
+
+    @property
+    def vertices(self) -> List[PatternTerm]:
+        """V_Q: all subject/object terms, in first-appearance order."""
+        return self.query.vertex_terms()
+
+    def out_edges(self, vertex: PatternTerm) -> List[TriplePattern]:
+        """Patterns whose subject is *vertex*."""
+        return list(self._out.get(vertex, ()))
+
+    def in_edges(self, vertex: PatternTerm) -> List[TriplePattern]:
+        """Patterns whose object is *vertex*."""
+        return list(self._in.get(vertex, ()))
+
+    def edges(self, vertex: PatternTerm) -> List[TriplePattern]:
+        """All patterns incident to *vertex*."""
+        result: Dict[TriplePattern, None] = {}
+        for tp in self._out.get(vertex, ()):
+            result[tp] = None
+        for tp in self._in.get(vertex, ()):
+            result[tp] = None
+        return list(result)
+
+    def neighbors(self, vertex: PatternTerm) -> Set[PatternTerm]:
+        """Vertices one undirected hop away from *vertex*."""
+        result: Set[PatternTerm] = set()
+        for tp in self._out.get(vertex, ()):
+            result.add(tp.object)
+        for tp in self._in.get(vertex, ()):
+            result.add(tp.subject)
+        result.discard(vertex)
+        return result
+
+    def reachable_patterns(self, vertex: PatternTerm) -> FrozenSet[TriplePattern]:
+        """All patterns reachable from *vertex* following edge directions.
+
+        This is the query-graph analogue of the Path-BM ``combine``
+        function: every end-to-end path starting at *vertex*.
+        """
+        seen_vertices: Set[PatternTerm] = {vertex}
+        result: Set[TriplePattern] = set()
+        frontier = [vertex]
+        while frontier:
+            v = frontier.pop()
+            for tp in self._out.get(v, ()):
+                result.add(tp)
+                if tp.object not in seen_vertices:
+                    seen_vertices.add(tp.object)
+                    frontier.append(tp.object)
+        return frozenset(result)
+
+    def patterns_within_forward_hops(
+        self, vertex: PatternTerm, hops: int
+    ) -> FrozenSet[TriplePattern]:
+        """Patterns within *hops* forward (directed) steps of *vertex*.
+
+        The query-graph analogue of the 2-hop-forward (2f) ``combine``.
+        """
+        result: Set[TriplePattern] = set()
+        frontier: Set[PatternTerm] = {vertex}
+        for _ in range(hops):
+            next_frontier: Set[PatternTerm] = set()
+            for v in frontier:
+                for tp in self._out.get(v, ()):
+                    if tp not in result:
+                        result.add(tp)
+                        next_frontier.add(tp.object)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return frozenset(result)
+
+    def incident_patterns(self, vertex: PatternTerm) -> FrozenSet[TriplePattern]:
+        """Patterns that contain *vertex* as subject or object.
+
+        The query-graph analogue of the undirected 1-hop (and of hash
+        partitioning on subject+object) ``combine``.
+        """
+        return frozenset(self.edges(vertex))

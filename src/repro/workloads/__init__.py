@@ -1,0 +1,38 @@
+"""Workloads: LUBM-like, UniProt-like, random queries, WatDiv-like."""
+
+from .generators import (
+    WorkloadQuery,
+    chain_query,
+    cycle_query,
+    dense_query,
+    generate_query,
+    generate_workload,
+    star_query,
+    tree_query,
+)
+from .lubm import LUBMGenerator, generate_lubm, lubm_queries, lubm_query
+from .uniprot import UniProtGenerator, generate_uniprot, uniprot_queries, uniprot_query
+from .watdiv import WatDivGenerator, WatDivTemplate, instantiate, watdiv_workload
+
+__all__ = [
+    "chain_query",
+    "cycle_query",
+    "star_query",
+    "tree_query",
+    "dense_query",
+    "generate_query",
+    "generate_workload",
+    "WorkloadQuery",
+    "LUBMGenerator",
+    "generate_lubm",
+    "lubm_query",
+    "lubm_queries",
+    "UniProtGenerator",
+    "generate_uniprot",
+    "uniprot_query",
+    "uniprot_queries",
+    "WatDivGenerator",
+    "WatDivTemplate",
+    "instantiate",
+    "watdiv_workload",
+]

@@ -1,0 +1,224 @@
+"""The paper's random query generator (Section V-A).
+
+"We have implemented a query generator that can randomly generate
+chain, cycle, tree and dense queries [...].  The workload contains 116
+queries, each with 3 different cardinalities and bindings.  [...] The
+query size ranges from 2 to 30.  The cardinality of each triple
+pattern is a positive integer randomly chosen from 1 to 1,000; the
+number of bindings of each variable is a random integer from 1 to the
+cardinality."
+
+:func:`generate_query` builds one query of a requested shape and size;
+:func:`generate_workload` reproduces the 348-input workload (116 shapes
+× 3 statistics draws).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from ..core.cardinality import StatisticsCatalog
+from ..core.join_graph import QueryShape
+from ..rdf.terms import IRI, Variable
+from ..sparql.ast import BGPQuery, TriplePattern
+
+_PREDICATE_BASE = "http://repro.example.org/generated/p"
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One generator output: a query plus one statistics draw."""
+
+    query: BGPQuery
+    statistics: StatisticsCatalog
+    shape: QueryShape
+    size: int
+
+
+def _predicate(index: int) -> IRI:
+    return IRI(f"{_PREDICATE_BASE}{index}")
+
+
+def chain_query(size: int, name: str = "") -> BGPQuery:
+    """A chain of *size* patterns: v0 → v1 → ... → v_size."""
+    if size < 2:
+        raise ValueError("chain queries need at least 2 patterns")
+    patterns = [
+        TriplePattern(Variable(f"v{i}"), _predicate(i), Variable(f"v{i + 1}"))
+        for i in range(size)
+    ]
+    return BGPQuery(patterns, name=name or f"chain-{size}")
+
+
+def cycle_query(size: int, name: str = "") -> BGPQuery:
+    """A simple cycle of *size* patterns."""
+    if size < 3:
+        raise ValueError("cycle queries need at least 3 patterns")
+    patterns = [
+        TriplePattern(
+            Variable(f"v{i}"), _predicate(i), Variable(f"v{(i + 1) % size}")
+        )
+        for i in range(size)
+    ]
+    return BGPQuery(patterns, name=name or f"cycle-{size}")
+
+
+def star_query(size: int, name: str = "") -> BGPQuery:
+    """A subject-star: all patterns share the center variable."""
+    if size < 2:
+        raise ValueError("star queries need at least 2 patterns")
+    center = Variable("c")
+    patterns = [
+        TriplePattern(center, _predicate(i), Variable(f"v{i}")) for i in range(size)
+    ]
+    return BGPQuery(patterns, name=name or f"star-{size}")
+
+
+def tree_query(
+    size: int, rng: Optional[random.Random] = None, name: str = ""
+) -> BGPQuery:
+    """A random tree-shaped query (acyclic query graph with branching).
+
+    Each new pattern attaches a fresh variable to a uniformly chosen
+    existing variable, in a random edge direction; with ≥3 patterns a
+    branch is forced so the result is not accidentally a pure chain.
+    """
+    if size < 2:
+        raise ValueError("tree queries need at least 2 patterns")
+    rng = rng if rng is not None else random.Random(size)
+    variables = [Variable("v0")]
+    patterns: List[TriplePattern] = []
+    for i in range(size):
+        if i == 2:
+            attach = variables[0]  # force a branch at the root
+        else:
+            attach = rng.choice(variables)
+        fresh = Variable(f"v{i + 1}")
+        variables.append(fresh)
+        if rng.random() < 0.5:
+            patterns.append(TriplePattern(attach, _predicate(i), fresh))
+        else:
+            patterns.append(TriplePattern(fresh, _predicate(i), attach))
+    return BGPQuery(patterns, name=name or f"tree-{size}")
+
+
+def dense_query(
+    size: int,
+    rng: Optional[random.Random] = None,
+    extra_cycles: Optional[int] = None,
+    name: str = "",
+) -> BGPQuery:
+    """A random dense query: a tree skeleton plus cycle-closing patterns.
+
+    ``extra_cycles`` patterns connect already-existing variable pairs,
+    each adding one independent cycle to the join graph (default:
+    max(2, size // 5), so the result is dense, not merely a cycle).
+    """
+    if size < 4:
+        raise ValueError("dense queries need at least 4 patterns")
+    rng = rng if rng is not None else random.Random(size)
+    if extra_cycles is None:
+        extra_cycles = max(2, size // 5)
+    extra_cycles = min(extra_cycles, size - 2)
+    skeleton = size - extra_cycles
+    variables = [Variable("v0")]
+    patterns: List[TriplePattern] = []
+    for i in range(skeleton):
+        attach = rng.choice(variables)
+        fresh = Variable(f"v{i + 1}")
+        variables.append(fresh)
+        if rng.random() < 0.5:
+            patterns.append(TriplePattern(attach, _predicate(i), fresh))
+        else:
+            patterns.append(TriplePattern(fresh, _predicate(i), attach))
+    existing = set((tp.subject, tp.object) for tp in patterns)
+    for i in range(skeleton, size):
+        # prefer pairs that are not yet connected, but fall back to
+        # parallel edges (distinct predicates keep the patterns distinct)
+        # so the query always has exactly *size* patterns
+        pair = None
+        for _ in range(50):
+            a, b = rng.sample(variables, 2)
+            if (a, b) not in existing and (b, a) not in existing:
+                pair = (a, b)
+                break
+        if pair is None:
+            pair = tuple(rng.sample(variables, 2))
+        existing.add(pair)
+        patterns.append(TriplePattern(pair[0], _predicate(i), pair[1]))
+    return BGPQuery(patterns, name=name or f"dense-{size}")
+
+
+_SHAPE_BUILDERS = {
+    QueryShape.CHAIN: lambda size, rng, name: chain_query(size, name),
+    QueryShape.CYCLE: lambda size, rng, name: cycle_query(size, name),
+    QueryShape.STAR: lambda size, rng, name: star_query(size, name),
+    QueryShape.TREE: tree_query,
+    QueryShape.DENSE: dense_query,
+}
+
+
+def generate_query(
+    shape: QueryShape,
+    size: int,
+    rng: Optional[random.Random] = None,
+    name: str = "",
+) -> BGPQuery:
+    """Build one random query of the given shape and pattern count."""
+    try:
+        builder = _SHAPE_BUILDERS[shape]
+    except KeyError:
+        raise ValueError(f"cannot generate shape {shape}") from None
+    if builder in (tree_query, dense_query):
+        return builder(size, rng, name=name)
+    return builder(size, rng, name)
+
+
+def generate_workload(
+    shapes: Sequence[QueryShape] = (
+        QueryShape.CHAIN,
+        QueryShape.CYCLE,
+        QueryShape.TREE,
+        QueryShape.DENSE,
+    ),
+    sizes: Sequence[int] = tuple(range(2, 31)),
+    statistics_draws: int = 3,
+    seed: int = 2017,
+    max_cardinality: int = 1000,
+) -> Iterator[WorkloadQuery]:
+    """Reproduce the paper's random workload.
+
+    One query per (shape, size) pair (sizes below a shape's minimum are
+    skipped), each instantiated with *statistics_draws* independent
+    cardinality/binding draws — the paper's 116 × 3 = 348 inputs.
+    """
+    rng = random.Random(seed)
+    minimum = {
+        QueryShape.CHAIN: 2,
+        QueryShape.CYCLE: 3,
+        QueryShape.STAR: 2,
+        QueryShape.TREE: 2,
+        QueryShape.DENSE: 4,
+    }
+    for shape in shapes:
+        for size in sizes:
+            if size < minimum[shape]:
+                continue
+            query = generate_query(
+                shape, size, random.Random(rng.randrange(2**31)),
+                name=f"{shape.value}-{size}",
+            )
+            for draw in range(statistics_draws):
+                stats = StatisticsCatalog.from_random(
+                    query,
+                    random.Random(rng.randrange(2**31)),
+                    max_cardinality=max_cardinality,
+                )
+                yield WorkloadQuery(
+                    query=query,
+                    statistics=stats,
+                    shape=shape,
+                    size=size,
+                )

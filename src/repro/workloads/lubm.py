@@ -1,0 +1,380 @@
+"""LUBM-like workload: synthetic university data plus queries L1–L10.
+
+The paper evaluates on LUBM-10000 (1.38 billion triples).  Our
+generator emits the same schema — universities, departments,
+professors, students, courses, research groups, publications, with the
+``ub:`` predicate vocabulary and the exact IRI scheme the benchmark
+queries reference (``<Department0.University0.edu>``,
+``<Department2.University6.edu/FullProfessor1/Publication1>``, ...) —
+at a laptop scale, so all ten queries parse, type-check, and return
+non-empty results.  Optimization-time experiments depend only on the
+query structure and statistics, not the data volume.
+
+Queries L1–L10 are verbatim from the paper's appendix.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..rdf.dataset import Dataset
+from ..rdf.terms import IRI, Literal
+from ..rdf.triples import RDFGraph, Triple
+from ..sparql.ast import BGPQuery
+from ..sparql.parser import parse_query
+
+UB = "http://www.lehigh.edu/~zhp2/2004/0401/univ-bench.owl#"
+RDF_TYPE = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+_PREFIXES = f"""
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX ub: <{UB}>
+"""
+
+
+def _ub(local: str) -> IRI:
+    return IRI(UB + local)
+
+
+class LUBMGenerator:
+    """Deterministic scaled-down LUBM data generator.
+
+    Parameters follow the LUBM ontology's branching structure; defaults
+    produce ~40k triples across 8 universities, enough for every L
+    query to be non-empty (L9/L10 reference ``University6``, L5
+    references ``Department12`` — make sure ``universities ≥ 7`` and
+    ``departments ≥ 13`` when changing them).
+    """
+
+    def __init__(
+        self,
+        universities: int = 8,
+        departments: int = 13,
+        full_professors: int = 2,
+        associate_professors: int = 2,
+        graduate_students: int = 6,
+        undergraduate_students: int = 8,
+        graduate_courses: int = 3,
+        courses: int = 3,
+        research_groups: int = 2,
+        publications_per_professor: int = 2,
+        seed: int = 2017,
+    ) -> None:
+        self.universities = universities
+        self.departments = departments
+        self.full_professors = full_professors
+        self.associate_professors = associate_professors
+        self.graduate_students = graduate_students
+        self.undergraduate_students = undergraduate_students
+        self.graduate_courses = graduate_courses
+        self.courses = courses
+        self.research_groups = research_groups
+        self.publications_per_professor = publications_per_professor
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def generate(self) -> Dataset:
+        """Generate the dataset (deterministic for a fixed seed)."""
+        rng = random.Random(self.seed)
+        graph = RDFGraph()
+        add = graph.add
+
+        def typed(subject: IRI, class_name: str) -> None:
+            add(Triple(subject, RDF_TYPE, _ub(class_name)))
+
+        university_iris: List[IRI] = []
+        for u in range(self.universities):
+            univ = IRI(f"University{u}.edu")
+            university_iris.append(univ)
+            typed(univ, "University")
+            add(Triple(univ, _ub("name"), Literal(f"University{u}")))
+        for u in range(self.universities):
+            univ = university_iris[u]
+            for d in range(self.departments):
+                dept = IRI(f"Department{d}.University{u}.edu")
+                typed(dept, "Department")
+                add(Triple(dept, _ub("subOrganizationOf"), univ))
+                add(Triple(dept, _ub("name"), Literal(f"Department{d}-U{u}")))
+                self._populate_department(
+                    graph, rng, univ, dept, u, d, university_iris
+                )
+        return Dataset(graph, name="lubm-like")
+
+    # ------------------------------------------------------------------
+    def _populate_department(
+        self,
+        graph: RDFGraph,
+        rng: random.Random,
+        univ: IRI,
+        dept: IRI,
+        u: int,
+        d: int,
+        universities: List[IRI],
+    ) -> None:
+        add = graph.add
+
+        def typed(subject: IRI, class_name: str) -> None:
+            add(Triple(subject, RDF_TYPE, _ub(class_name)))
+
+        prefix = f"Department{d}.University{u}.edu"
+
+        for g in range(self.research_groups):
+            group = IRI(f"{prefix}/ResearchGroup{g}")
+            typed(group, "ResearchGroup")
+            add(Triple(group, _ub("subOrganizationOf"), dept))
+
+        graduate_courses = []
+        for c in range(self.graduate_courses):
+            course = IRI(f"{prefix}/GraduateCourse{c}")
+            typed(course, "GraduateCourse")
+            add(Triple(course, _ub("name"), Literal(f"GradCourse{c}")))
+            graduate_courses.append(course)
+        courses = []
+        for c in range(self.courses):
+            course = IRI(f"{prefix}/Course{c}")
+            typed(course, "Course")
+            add(Triple(course, _ub("name"), Literal(f"Course{c}")))
+            courses.append(course)
+
+        professors = []
+        for p in range(self.full_professors):
+            prof = IRI(f"{prefix}/FullProfessor{p}")
+            typed(prof, "FullProfessor")
+            professors.append(prof)
+        associates = []
+        for p in range(self.associate_professors):
+            prof = IRI(f"{prefix}/AssociateProfessor{p}")
+            typed(prof, "AssociateProfessor")
+            associates.append(prof)
+        for prof in professors + associates:
+            add(Triple(prof, _ub("worksFor"), dept))
+            add(Triple(prof, _ub("name"), Literal(str(prof.value).split("/")[-1])))
+        # teaching: full professors teach both kinds, associates teach
+        # graduate courses (L3 needs AssociateProfessor0 → GraduateCourse)
+        for i, prof in enumerate(professors):
+            add(Triple(prof, _ub("teacherOf"), courses[i % len(courses)]))
+            add(
+                Triple(
+                    prof,
+                    _ub("teacherOf"),
+                    graduate_courses[i % len(graduate_courses)],
+                )
+            )
+        for i, prof in enumerate(associates):
+            add(
+                Triple(
+                    prof,
+                    _ub("teacherOf"),
+                    graduate_courses[i % len(graduate_courses)],
+                )
+            )
+
+        graduate_students = []
+        for s in range(self.graduate_students):
+            student = IRI(f"{prefix}/GraduateStudent{s}")
+            typed(student, "GraduateStudent")
+            graduate_students.append(student)
+            add(Triple(student, _ub("memberOf"), dept))
+            advisor = professors[s % len(professors)]
+            add(Triple(student, _ub("advisor"), advisor))
+            course = graduate_courses[s % len(graduate_courses)]
+            add(Triple(student, _ub("takesCourse"), course))
+            # L9/L10 need the student to take a course their advisor teaches
+            add(
+                Triple(
+                    student,
+                    _ub("takesCourse"),
+                    graduate_courses[(s % len(professors)) % len(graduate_courses)],
+                )
+            )
+            # ~1/3 got their undergraduate degree from this university
+            # (L7/L10 join memberOf with undergraduateDegreeFrom)
+            if s % 3 == 0:
+                degree_from = univ
+            else:
+                degree_from = rng.choice(universities)
+            add(Triple(student, _ub("undergraduateDegreeFrom"), degree_from))
+
+        for s in range(self.undergraduate_students):
+            student = IRI(f"{prefix}/UndergraduateStudent{s}")
+            typed(student, "UndergraduateStudent")
+            add(Triple(student, _ub("memberOf"), dept))
+            course = courses[s % len(courses)]
+            add(Triple(student, _ub("takesCourse"), course))
+            advisor = professors[s % len(professors)]
+            add(Triple(student, _ub("advisor"), advisor))
+            # L8 joins takesCourse with advisor teacherOf: enrol the
+            # student in a course the advisor teaches as well
+            add(
+                Triple(
+                    student,
+                    _ub("takesCourse"),
+                    courses[(s % len(professors)) % len(courses)],
+                )
+            )
+
+        for p, prof in enumerate(professors):
+            for k in range(self.publications_per_professor):
+                publication = IRI(f"{prefix}/FullProfessor{p}/Publication{k}")
+                typed(publication, "Publication")
+                add(Triple(publication, _ub("name"), Literal(f"Pub{p}-{k}")))
+                add(Triple(publication, _ub("publicationAuthor"), prof))
+                # coauthor one of the professor's advisees (L5/L6/L9/L10
+                # look up graduate students through publicationAuthor)
+                advisees = [
+                    s
+                    for i, s in enumerate(graduate_students)
+                    if i % len(professors) == p
+                ]
+                if advisees:
+                    add(
+                        Triple(
+                            publication,
+                            _ub("publicationAuthor"),
+                            advisees[k % len(advisees)],
+                        )
+                    )
+
+
+# ----------------------------------------------------------------------
+# benchmark queries, verbatim from the paper's appendix
+# ----------------------------------------------------------------------
+_QUERY_TEXTS: Dict[str, str] = {
+    "L1": """
+SELECT ?x WHERE {
+  ?x rdf:type ub:ResearchGroup .
+  ?x ub:subOrganizationOf <Department0.University0.edu> . }
+""",
+    "L2": """
+SELECT ?x ?y WHERE {
+  ?x ub:worksFor ?y .
+  ?y ub:subOrganizationOf <University0.edu> . }
+""",
+    "L3": """
+SELECT ?x ?y WHERE {
+  ?x rdf:type ub:GraduateStudent .
+  <Department0.University0.edu/AssociateProfessor0> ub:teacherOf ?y .
+  ?y rdf:type ub:GraduateCourse .
+  ?x ub:takesCourse ?y . }
+""",
+    "L4": """
+SELECT ?x ?y WHERE {
+  ?x ub:worksFor ?y .
+  ?y rdf:type ub:Department .
+  ?x rdf:type ub:FullProfessor .
+  ?y ub:subOrganizationOf <University0.edu> . }
+""",
+    "L5": """
+SELECT ?x ?w WHERE {
+  ?x ub:advisor ?y .
+  ?y ub:worksFor ?z .
+  ?x rdf:type ub:GraduateStudent .
+  ?z ub:subOrganizationOf ?w .
+  ?w ub:name ?u .
+  ?z rdf:type ub:Department .
+  ?w rdf:type ub:University .
+  <Department12.University0.edu/FullProfessor0/Publication0> ub:publicationAuthor ?x . }
+""",
+    "L6": """
+SELECT ?x ?p WHERE {
+  ?x ub:advisor ?y .
+  ?y ub:worksFor ?z .
+  ?x rdf:type ub:GraduateStudent .
+  <Department0.University0.edu/FullProfessor0/Publication0> ub:publicationAuthor ?x .
+  ?p ub:name ?n .
+  ?z rdf:type ub:Department .
+  ?z ub:subOrganizationOf ?w .
+  ?p ub:publicationAuthor ?x . }
+""",
+    "L7": """
+SELECT ?x ?y ?z WHERE {
+  ?z ub:subOrganizationOf ?y .
+  ?y rdf:type ub:University .
+  ?z rdf:type ub:Department .
+  ?x rdf:type ub:GraduateStudent .
+  ?x ub:memberOf ?z .
+  ?x ub:undergraduateDegreeFrom ?y . }
+""",
+    "L8": """
+SELECT ?x ?y ?z WHERE {
+  ?y ub:teacherOf ?z .
+  ?y rdf:type ub:FullProfessor .
+  ?z rdf:type ub:Course .
+  ?x ub:takesCourse ?z .
+  ?x rdf:type ub:UndergraduateStudent .
+  ?x ub:advisor ?y . }
+""",
+    "L9": """
+SELECT ?x ?y ?f ?c ?p ?n WHERE {
+  ?y rdf:type ub:University .
+  ?x rdf:type ub:GraduateStudent .
+  ?x ub:undergraduateDegreeFrom ?y .
+  ?f rdf:type ub:FullProfessor .
+  ?x ub:advisor ?f .
+  ?x ub:takesCourse ?c .
+  ?f ub:teacherOf ?c .
+  ?c rdf:type ub:GraduateCourse .
+  <Department2.University6.edu/FullProfessor1/Publication1> ub:publicationAuthor ?f .
+  ?p ub:publicationAuthor ?f .
+  ?p ub:name ?n . }
+""",
+    "L10": """
+SELECT ?x ?y ?z ?f ?c ?p ?n WHERE {
+  ?z ub:subOrganizationOf ?y .
+  ?y rdf:type ub:University .
+  ?z rdf:type ub:Department .
+  ?x ub:memberOf ?z .
+  ?x rdf:type ub:GraduateStudent .
+  ?x ub:undergraduateDegreeFrom ?y .
+  ?f rdf:type ub:FullProfessor .
+  ?x ub:advisor ?f .
+  ?x ub:takesCourse ?c .
+  ?f ub:teacherOf ?c .
+  ?c rdf:type ub:GraduateCourse .
+  <Department2.University6.edu/FullProfessor1/Publication1> ub:publicationAuthor ?f .
+  ?p ub:publicationAuthor ?f .
+  ?p ub:name ?n . }
+""",
+}
+
+#: shape labels from the paper's Table III
+QUERY_SHAPES: Dict[str, str] = {
+    "L1": "star",
+    "L2": "chain",
+    "L3": "tree",
+    "L4": "tree",
+    "L5": "tree",
+    "L6": "tree",
+    "L7": "dense",
+    "L8": "dense",
+    "L9": "dense",
+    "L10": "dense",
+}
+
+
+def lubm_query(name: str) -> BGPQuery:
+    """One of L1–L10, parsed."""
+    if name not in _QUERY_TEXTS:
+        raise KeyError(f"unknown LUBM query {name!r}; have {sorted(_QUERY_TEXTS)}")
+    return parse_query(_PREFIXES + _QUERY_TEXTS[name], name=name)
+
+
+def lubm_queries() -> Dict[str, BGPQuery]:
+    """All ten benchmark queries, keyed L1..L10."""
+    return {name: lubm_query(name) for name in _QUERY_TEXTS}
+
+
+def generate_lubm(scale: float = 1.0, seed: int = 2017) -> Dataset:
+    """Generate a LUBM-like dataset; ``scale`` multiplies entity counts."""
+    def scaled(value: int, minimum: int) -> int:
+        return max(minimum, round(value * scale))
+
+    generator = LUBMGenerator(
+        universities=scaled(8, 7),
+        departments=scaled(13, 13),
+        graduate_students=scaled(6, 2),
+        undergraduate_students=scaled(8, 2),
+        seed=seed,
+    )
+    return generator.generate()

@@ -1,0 +1,213 @@
+"""UniProt-like workload: synthetic protein data plus queries U1–U5.
+
+The paper's UniProt dataset has 2 billion triples and is not
+redistributable, so we generate a protein graph with the same predicate
+vocabulary and the exact constants U1–U5 reference (refseq/tigr/pfam/
+prints cross-references, ``uniprot:Q4N2B5``, enzyme classes 2.7.7.- and
+3.1.3.16, keyword 67, taxon 9606, ``embl-cds:AAN81952.1``).  All five
+queries parse and return non-empty results on the generated data.
+
+Note: the paper's appendix prints U5's annotation class as
+``<.../core/Disease Annotation>`` with a space — an artifact of the PDF;
+we use the actual UniProt class IRI ``Disease_Annotation``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..rdf.dataset import Dataset
+from ..rdf.terms import IRI, Literal
+from ..rdf.triples import RDFGraph, Triple
+from ..sparql.ast import BGPQuery
+from ..sparql.parser import parse_query
+
+CORE = "http://purl.uniprot.org/core/"
+BASE = "http://purl.uniprot.org/"
+RDF_TYPE = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+RDFS_SEEALSO = IRI("http://www.w3.org/2000/01/rdf-schema#seeAlso")
+RDFS_COMMENT = IRI("http://www.w3.org/2000/01/rdf-schema#comment")
+
+_PREFIXES = """
+PREFIX uni: <http://purl.uniprot.org/core/>
+PREFIX uniprot: <http://purl.uniprot.org/uniprot/>
+PREFIX schema: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX taxon: <http://purl.uniprot.org/taxonomy/>
+"""
+
+
+def _core(local: str) -> IRI:
+    return IRI(CORE + local)
+
+
+class UniProtGenerator:
+    """Deterministic scaled-down UniProt-like generator."""
+
+    def __init__(self, proteins: int = 400, seed: int = 2017) -> None:
+        if proteins < 20:
+            raise ValueError("need at least 20 proteins for the benchmark queries")
+        self.proteins = proteins
+        self.seed = seed
+
+    def generate(self) -> Dataset:
+        """Generate the dataset (deterministic for a fixed seed)."""
+        rng = random.Random(self.seed)
+        graph = RDFGraph()
+        add = graph.add
+
+        protein_iris: List[IRI] = [
+            IRI(f"{BASE}uniprot/P{i:05d}") for i in range(self.proteins)
+        ]
+        databases = [IRI(f"{BASE}database/DB{i}") for i in range(6)]
+        enzymes = [
+            IRI(f"{BASE}enzyme/2.7.7.-"),
+            IRI(f"{BASE}enzyme/3.1.3.16"),
+            IRI(f"{BASE}enzyme/1.1.1.1"),
+        ]
+        keywords = [IRI(f"{BASE}keywords/{k}") for k in (67, 181, 472)]
+        taxa = [IRI(f"{BASE}taxonomy/{t}") for t in (9606, 10090, 4932)]
+
+        for i, protein in enumerate(protein_iris):
+            add(Triple(protein, RDF_TYPE, _core("Protein")))
+            add(Triple(protein, _core("organism"), taxa[i % len(taxa)]))
+            gene = IRI(f"{BASE}gene/G{i:05d}")
+            add(Triple(protein, _core("encodedBy"), gene))
+            add(Triple(protein, _core("enzyme"), enzymes[i % len(enzymes)]))
+            add(Triple(protein, _core("classifiedWith"), keywords[i % len(keywords)]))
+            # annotations: every protein gets one; human proteins (taxon
+            # 9606, i % 3 == 0) get a Disease_Annotation for U5
+            annotation = IRI(f"{BASE}annotation/A{i:05d}")
+            add(Triple(protein, _core("annotation"), annotation))
+            if i % len(taxa) == 0:
+                add(Triple(annotation, RDF_TYPE, _core("Disease_Annotation")))
+            else:
+                add(Triple(annotation, RDF_TYPE, _core("Function_Annotation")))
+            add(Triple(annotation, RDFS_COMMENT, Literal(f"annotation text {i}")))
+            range_iri = IRI(f"{BASE}range/R{i:05d}")
+            add(Triple(annotation, _core("range"), range_iri))
+            # external cross references with uni:database edges (U2)
+            reference = IRI(f"{BASE}citations/C{i:05d}")
+            add(Triple(protein, RDFS_SEEALSO, reference))
+            add(Triple(reference, _core("database"), databases[i % len(databases)]))
+
+        # replacement chains: P_{4k} → P_{4k+1} → P_{4k+2} → P_{4k+3} (U2/U3/U4)
+        for start in range(0, self.proteins - 3, 4):
+            chain = protein_iris[start : start + 4]
+            for left, right in zip(chain, chain[1:]):
+                add(Triple(left, _core("replacedBy"), right))
+                add(Triple(right, _core("replaces"), left))
+
+        # interactions between enzyme classes 2.7.7.- and 3.1.3.16 (U3)
+        class_a = [p for i, p in enumerate(protein_iris) if i % len(enzymes) == 0]
+        class_b = [p for i, p in enumerate(protein_iris) if i % len(enzymes) == 1]
+        for k in range(min(len(class_a), len(class_b), self.proteins // 4)):
+            interaction = IRI(f"{BASE}interaction/I{k:05d}")
+            add(Triple(interaction, RDF_TYPE, _core("Interaction")))
+            add(Triple(interaction, _core("participant"), class_a[k]))
+            add(Triple(interaction, _core("participant"), class_b[k]))
+
+        # the specific constants the benchmark queries reference --------
+        # U1: a protein with the four exact cross-references
+        u1_protein = protein_iris[0]
+        for ref in (
+            f"{BASE}refseq/NP_346136.1",
+            f"{BASE}tigr/SP_1698",
+            f"{BASE}pfam/PF00842",
+            f"{BASE}prints/PR00992",
+        ):
+            add(Triple(u1_protein, RDFS_SEEALSO, IRI(ref)))
+        # U2: Q4N2B5 heads a replacement chain
+        q4n2b5 = IRI(f"{BASE}uniprot/Q4N2B5")
+        add(Triple(q4n2b5, RDF_TYPE, _core("Protein")))
+        add(Triple(q4n2b5, _core("replacedBy"), protein_iris[1]))
+        # (P1 → P2 → P3 links come from the chain block above)
+        # U4: a keyword-67 protein with the exact embl-cds reference; it
+        # must have an outgoing uni:replaces edge, so pick P5 (the chain
+        # block makes P5 replace P4)
+        u4_protein = protein_iris[5]
+        add(Triple(u4_protein, _core("classifiedWith"), keywords[0]))
+        add(Triple(u4_protein, RDFS_SEEALSO, IRI(f"{BASE}embl-cds/AAN81952.1")))
+        return Dataset(graph, name="uniprot-like")
+
+
+# ----------------------------------------------------------------------
+# benchmark queries, verbatim from the paper's appendix
+# ----------------------------------------------------------------------
+_QUERY_TEXTS: Dict[str, str] = {
+    "U1": """
+SELECT ?a ?vo WHERE {
+  ?a uni:encodedBy ?vo .
+  ?a schema:seeAlso <http://purl.uniprot.org/refseq/NP_346136.1> .
+  ?a schema:seeAlso <http://purl.uniprot.org/tigr/SP_1698> .
+  ?a schema:seeAlso <http://purl.uniprot.org/pfam/PF00842> .
+  ?a schema:seeAlso <http://purl.uniprot.org/prints/PR00992> . }
+""",
+    "U2": """
+SELECT ?a ?ab ?b ?link ?db WHERE {
+  <http://purl.uniprot.org/uniprot/Q4N2B5> uni:replacedBy ?a .
+  ?a uni:replaces ?ab .
+  ?ab uni:replacedBy ?b .
+  ?b rdfs:seeAlso ?link .
+  ?link uni:database ?db . }
+""",
+    "U3": """
+SELECT ?p2 ?interaction ?p1 ?annotation ?text ?en WHERE {
+  ?p1 uni:enzyme <http://purl.uniprot.org/enzyme/2.7.7.-> .
+  ?p1 rdf:type uni:Protein .
+  ?interaction uni:participant ?p1 .
+  ?interaction rdf:type uni:Interaction .
+  ?interaction uni:participant ?p2 .
+  ?p2 rdf:type uni:Protein .
+  ?p2 uni:enzyme <http://purl.uniprot.org/enzyme/3.1.3.16> .
+  ?p1 uni:annotation ?annotation .
+  ?p1 uni:replaces ?p3 .
+  ?p1 uni:encodedBy ?en .
+  ?annotation rdfs:comment ?text . }
+""",
+    "U4": """
+SELECT ?a ?ab ?b ?annotation ?range WHERE {
+  ?a uni:classifiedWith <http://purl.uniprot.org/keywords/67> .
+  ?a schema:seeAlso <http://purl.uniprot.org/embl-cds/AAN81952.1> .
+  ?a uni:replaces ?ab .
+  ?ab uni:replacedBy ?b .
+  ?b uni:annotation ?annotation .
+  ?annotation uni:range ?range . }
+""",
+    "U5": """
+SELECT ?protein ?annotation WHERE {
+  ?protein uni:annotation ?annotation .
+  ?protein rdf:type uni:Protein .
+  ?protein uni:organism taxon:9606 .
+  ?annotation rdf:type <http://purl.uniprot.org/core/Disease_Annotation> .
+  ?annotation rdfs:comment ?text . }
+""",
+}
+
+#: shape labels from the paper's Table III
+QUERY_SHAPES: Dict[str, str] = {
+    "U1": "star",
+    "U2": "chain",
+    "U3": "tree",
+    "U4": "tree",
+    "U5": "tree",
+}
+
+
+def uniprot_query(name: str) -> BGPQuery:
+    """One of U1–U5, parsed."""
+    if name not in _QUERY_TEXTS:
+        raise KeyError(f"unknown UniProt query {name!r}; have {sorted(_QUERY_TEXTS)}")
+    return parse_query(_PREFIXES + _QUERY_TEXTS[name], name=name)
+
+
+def uniprot_queries() -> Dict[str, BGPQuery]:
+    """All five benchmark queries, keyed U1..U5."""
+    return {name: uniprot_query(name) for name in _QUERY_TEXTS}
+
+
+def generate_uniprot(proteins: int = 400, seed: int = 2017) -> Dataset:
+    """Generate a UniProt-like dataset."""
+    return UniProtGenerator(proteins=proteins, seed=seed).generate()

@@ -1,0 +1,194 @@
+"""WatDiv-like stress-testing workload (Figure 6 of the paper).
+
+The Waterloo SPARQL Diversity Test Suite builds 124 structurally
+diverse query templates by random walks over the graph representation
+of its e-commerce schema, then instantiates each template with 100
+queries.  WatDiv itself is not redistributable here, so we reproduce
+the recipe: a schema graph (entity classes connected by typed
+predicates, mirroring WatDiv's User/Product/Review/Retailer core), a
+random-walk template generator that mixes path extension with star
+extension (that is why most WatDiv templates are stars or joins of a
+few stars — the property the paper remarks on), and per-template
+instantiation that re-draws statistics and binds a random leaf to a
+constant.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.cardinality import StatisticsCatalog
+from ..rdf.terms import IRI, Variable
+from ..sparql.ast import BGPQuery, TriplePattern
+
+_NS = "http://db.uwaterloo.ca/~galuc/wsdbm/"
+
+#: (subject class, predicate, object class) — the schema graph edges,
+#: modeled on WatDiv's published schema
+SCHEMA_EDGES: Tuple[Tuple[str, str, str], ...] = (
+    ("User", "follows", "User"),
+    ("User", "friendOf", "User"),
+    ("User", "likes", "Product"),
+    ("User", "subscribes", "Website"),
+    ("User", "makesPurchase", "Purchase"),
+    ("Purchase", "purchaseFor", "Product"),
+    ("Review", "reviewFor", "Product"),
+    ("User", "writesReview", "Review"),
+    ("Review", "rating", "Rating"),
+    ("Product", "hasGenre", "Genre"),
+    ("Product", "caption", "Caption"),
+    ("Retailer", "sells", "Product"),
+    ("Retailer", "homepage", "Website"),
+    ("Product", "contentRating", "Rating"),
+    ("Website", "hits", "Hits"),
+    ("City", "partOfCountry", "Country"),
+    ("User", "location", "City"),
+    ("Retailer", "location", "City"),
+    ("Product", "includes", "Product"),
+    ("Genre", "relatedGenre", "Genre"),
+)
+
+
+@dataclass(frozen=True)
+class WatDivTemplate:
+    """A query template: a BGP with one designated constant slot."""
+
+    identifier: int
+    query: BGPQuery
+    constant_slot: int  # pattern index whose object gets bound per instance
+    constant_class: str
+
+
+class WatDivGenerator:
+    """Random-walk template generator over the schema graph."""
+
+    def __init__(self, seed: int = 2017) -> None:
+        self.seed = seed
+        self._out: Dict[str, List[Tuple[str, str]]] = {}
+        self._in: Dict[str, List[Tuple[str, str]]] = {}
+        for subject, predicate, object_ in SCHEMA_EDGES:
+            self._out.setdefault(subject, []).append((predicate, object_))
+            self._in.setdefault(object_, []).append((predicate, subject))
+
+    # ------------------------------------------------------------------
+    def templates(self, count: int = 124) -> List[WatDivTemplate]:
+        """Generate *count* structurally diverse templates."""
+        rng = random.Random(self.seed)
+        result: List[WatDivTemplate] = []
+        attempts = 0
+        seen_shapes = set()
+        while len(result) < count and attempts < count * 50:
+            attempts += 1
+            size = rng.randint(2, 10)
+            template = self._random_walk(len(result), size, rng)
+            if template is None:
+                continue
+            shape_key = self._shape_key(template.query)
+            # keep at most 3 templates of the same abstract shape, for diversity
+            if sum(1 for s in seen_shapes if s == shape_key) >= 3:
+                continue
+            seen_shapes.add(shape_key)
+            result.append(template)
+        return result
+
+    def _random_walk(
+        self, identifier: int, size: int, rng: random.Random
+    ) -> Optional[WatDivTemplate]:
+        classes = sorted(self._out)
+        current_class = rng.choice(classes)
+        variables: List[Tuple[Variable, str]] = [(Variable("v0"), current_class)]
+        patterns: List[TriplePattern] = []
+        for step in range(size):
+            # star step keeps extending from the same vertex; path step
+            # moves on — the 60/40 mix is what makes most templates
+            # "stars or joins of a few stars"
+            anchor_index = (
+                len(variables) - 1 if rng.random() < 0.4 else rng.randrange(len(variables))
+            )
+            anchor, anchor_class = variables[anchor_index]
+            forward = self._out.get(anchor_class, [])
+            backward = self._in.get(anchor_class, [])
+            options = [("f", p, c) for p, c in forward] + [
+                ("b", p, c) for p, c in backward
+            ]
+            if not options:
+                return None
+            direction, predicate, other_class = rng.choice(options)
+            fresh = Variable(f"v{len(variables)}")
+            variables.append((fresh, other_class))
+            predicate_iri = IRI(_NS + predicate)
+            if direction == "f":
+                patterns.append(TriplePattern(anchor, predicate_iri, fresh))
+            else:
+                patterns.append(TriplePattern(fresh, predicate_iri, anchor))
+        if len(patterns) < 2:
+            return None
+        query = BGPQuery(patterns, name=f"watdiv-T{identifier}")
+        # the constant slot must be a *leaf* object (a variable used by
+        # exactly one pattern), so binding it never changes the join
+        # structure or disconnects the query
+        usage: Dict[Variable, int] = {}
+        for tp in query:
+            for v in tp.variables():
+                usage[v] = usage.get(v, 0) + 1
+        leaf_slots = [
+            i
+            for i, tp in enumerate(query.patterns)
+            if isinstance(tp.object, Variable) and usage[tp.object] == 1
+        ]
+        if leaf_slots:
+            slot = rng.choice(leaf_slots)
+            slot_class = next(
+                cls for var, cls in variables if var == query.patterns[slot].object
+            )
+        else:
+            slot, slot_class = -1, ""
+        return WatDivTemplate(
+            identifier=identifier,
+            query=query,
+            constant_slot=slot,
+            constant_class=slot_class,
+        )
+
+    @staticmethod
+    def _shape_key(query: BGPQuery) -> Tuple:
+        """An abstract structural fingerprint for diversity filtering."""
+        degree: Dict[Variable, int] = {}
+        for tp in query:
+            for v in tp.variables():
+                degree[v] = degree.get(v, 0) + 1
+        return (len(query), tuple(sorted(degree.values())))
+
+
+def instantiate(
+    template: WatDivTemplate, instance: int, rng: random.Random
+) -> Tuple[BGPQuery, StatisticsCatalog]:
+    """One concrete query from a template: bind the slot, draw statistics."""
+    patterns = list(template.query.patterns)
+    if template.constant_slot >= 0:
+        constant = IRI(f"{_NS}{template.constant_class}{rng.randrange(100000)}")
+        slot_pattern = patterns[template.constant_slot]
+        patterns[template.constant_slot] = TriplePattern(
+            slot_pattern.subject, slot_pattern.predicate, constant
+        )
+    query = BGPQuery(
+        patterns, name=f"{template.query.name}-i{instance}"
+    )
+    statistics = StatisticsCatalog.from_random(query, rng)
+    return query, statistics
+
+
+def watdiv_workload(
+    templates: int = 124,
+    instances_per_template: int = 100,
+    seed: int = 2017,
+) -> Iterator[Tuple[WatDivTemplate, BGPQuery, StatisticsCatalog]]:
+    """The full stress workload: templates × instances (paper: 12,400)."""
+    generator = WatDivGenerator(seed=seed)
+    rng = random.Random(seed + 1)
+    for template in generator.templates(templates):
+        for instance in range(instances_per_template):
+            query, statistics = instantiate(template, instance, rng)
+            yield template, query, statistics

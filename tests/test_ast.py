@@ -1,0 +1,98 @@
+"""Unit tests for the BGP AST (TriplePattern / BGPQuery)."""
+
+import pytest
+
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.sparql.ast import BGPQuery, TriplePattern
+
+
+def tp(s, p, o):
+    return TriplePattern(s, p, o)
+
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+P, Q = IRI("http://e/p"), IRI("http://e/q")
+
+
+class TestTriplePattern:
+    def test_variables(self):
+        pattern = tp(X, P, Y)
+        assert pattern.variables() == {X, Y}
+
+    def test_variable_predicate_counted(self):
+        pattern = tp(X, Variable("p"), Y)
+        assert Variable("p") in pattern.variables()
+
+    def test_concrete(self):
+        assert tp(IRI("a"), P, Literal("x")).is_concrete()
+        assert not tp(X, P, Literal("x")).is_concrete()
+
+    def test_vertex_terms_are_subject_and_object(self):
+        assert tp(X, P, Y).vertex_terms() == (X, Y)
+
+    def test_hashable_and_equal(self):
+        assert tp(X, P, Y) == tp(X, P, Y)
+        assert len({tp(X, P, Y), tp(X, P, Y)}) == 1
+
+
+class TestBGPQuery:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BGPQuery([])
+
+    def test_index_of(self):
+        query = BGPQuery([tp(X, P, Y), tp(Y, Q, Z)])
+        assert query.index_of(query[1]) == 1
+        with pytest.raises(KeyError):
+            query.index_of(tp(X, Q, Z))
+
+    def test_join_variables_order_and_content(self):
+        query = BGPQuery([tp(X, P, Y), tp(Y, Q, Z), tp(Z, P, X)])
+        assert set(query.join_variables()) == {X, Y, Z}
+
+    def test_non_shared_variable_not_a_join_variable(self):
+        query = BGPQuery([tp(X, P, Y), tp(Y, Q, Z)])
+        assert set(query.join_variables()) == {Y}
+
+    def test_vertex_terms_preserve_first_appearance(self):
+        query = BGPQuery([tp(X, P, Y), tp(Y, Q, Z)])
+        assert query.vertex_terms() == [X, Y, Z]
+
+    def test_variables_includes_predicates(self):
+        query = BGPQuery([tp(X, Variable("p"), Y)])
+        assert Variable("p") in query.variables()
+
+    def test_str_is_reparseable_header(self):
+        query = BGPQuery([tp(X, P, Y)], projection=[X])
+        text = str(query)
+        assert text.startswith("SELECT ?x WHERE {")
+
+    def test_getitem_and_iter(self):
+        query = BGPQuery([tp(X, P, Y), tp(Y, Q, Z)])
+        assert query[0] == tp(X, P, Y)
+        assert list(query) == [tp(X, P, Y), tp(Y, Q, Z)]
+
+    def test_repr_contains_name(self):
+        query = BGPQuery([tp(X, P, Y)], name="demo")
+        assert "demo" in repr(query)
+
+
+class TestLUBMScaling:
+    def test_scale_changes_size(self):
+        from repro.workloads import generate_lubm
+
+        small = generate_lubm(scale=1.0, seed=4)
+        large = generate_lubm(scale=1.5, seed=4)
+        assert large.triple_count > small.triple_count
+
+    def test_minimums_enforced(self):
+        from repro.workloads import generate_lubm
+
+        # even at tiny scale, University6/Department12 must exist for
+        # L5/L9/L10 to be satisfiable
+        tiny = generate_lubm(scale=0.1, seed=4)
+        from repro.engine import evaluate_reference
+        from repro.workloads import lubm_query
+
+        assert len(evaluate_reference(lubm_query("L5"), tiny.graph)) > 0
+        assert len(evaluate_reference(lubm_query("L9"), tiny.graph)) > 0

@@ -1,0 +1,82 @@
+"""Tests for TD-Auto (the Figure 5 decision tree)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    AutonomousOptimizer,
+    AutoThresholds,
+    JoinGraph,
+    choose_algorithm,
+)
+from repro.core.optimizer import make_builder
+from repro.core.plans import validate_plan
+from repro.workloads.generators import (
+    chain_query,
+    cycle_query,
+    dense_query,
+    star_query,
+    tree_query,
+)
+
+
+class TestDecisionTree:
+    def test_chain_uses_tdcmd(self):
+        assert choose_algorithm(JoinGraph(chain_query(20))) == "TD-CMD"
+
+    def test_cycle_uses_tdcmd(self):
+        assert choose_algorithm(JoinGraph(cycle_query(20))) == "TD-CMD"
+
+    def test_small_star_uses_tdcmdp(self):
+        # degree = 12 ≥ θ_d = 5, |V_T| = 12 < θ_n = 30
+        assert choose_algorithm(JoinGraph(star_query(12))) == "TD-CMDP"
+
+    def test_huge_star_uses_hgr(self):
+        assert choose_algorithm(JoinGraph(star_query(31))) == "HGR-TD-CMD"
+
+    def test_low_degree_tree_uses_tdcmd(self):
+        jg = JoinGraph(chain_query(8))
+        assert jg.max_degree() < 5
+        assert choose_algorithm(jg) == "TD-CMD"
+
+    def test_multi_cycle_dense_thresholds(self):
+        # build a dense query with |V_T|/|V_J| < 1 is impossible for
+        # edge-style patterns (each pattern brings ≤ 2 join variables and
+        # consumes ≥ 1), so exercise the branch with custom thresholds
+        thresholds = AutoThresholds(degree=2, pattern_count=5, dense_pattern_count=5)
+        jg = JoinGraph(star_query(6))
+        assert choose_algorithm(jg, thresholds) == "HGR-TD-CMD"
+
+    def test_threshold_boundaries(self):
+        thresholds = AutoThresholds(degree=5, pattern_count=30, dense_pattern_count=14)
+        # degree exactly θ_d -> not "< θ_d" -> pruning path
+        jg = JoinGraph(star_query(5))
+        assert jg.max_degree() == 5
+        assert choose_algorithm(jg, thresholds) == "TD-CMDP"
+        jg4 = JoinGraph(star_query(4))
+        assert choose_algorithm(jg4, thresholds) == "TD-CMD"
+
+
+class TestAutonomousOptimizer:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            chain_query(10),
+            cycle_query(8),
+            star_query(9),
+            tree_query(9, random.Random(0)),
+            dense_query(9, random.Random(0)),
+        ],
+        ids=["chain", "cycle", "star", "tree", "dense"],
+    )
+    def test_produces_valid_plans(self, query):
+        builder = make_builder(query, seed=0)
+        result = AutonomousOptimizer(builder.join_graph, builder).optimize()
+        validate_plan(result.plan, builder.join_graph.full)
+        assert result.algorithm.startswith("TD-Auto[")
+
+    def test_reports_chosen_variant(self):
+        builder = make_builder(star_query(12), seed=0)
+        result = AutonomousOptimizer(builder.join_graph, builder).optimize()
+        assert result.algorithm == "TD-Auto[TD-CMDP]"

@@ -1,0 +1,78 @@
+"""Unit and property tests for the bitset helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import bitset as bs
+
+bitsets = st.integers(min_value=0, max_value=(1 << 24) - 1)
+
+
+class TestBasics:
+    def test_bit(self):
+        assert bs.bit(0) == 1
+        assert bs.bit(5) == 32
+
+    def test_from_to_indices_round_trip(self):
+        assert bs.to_indices(bs.from_indices([0, 3, 7])) == [0, 3, 7]
+
+    def test_iter_bits(self):
+        assert list(bs.iter_bits(0b1011)) == [0, 1, 3]
+
+    def test_popcount(self):
+        assert bs.popcount(0) == 0
+        assert bs.popcount(0b1011) == 3
+
+    def test_lowest_bit(self):
+        assert bs.lowest_bit(0b1100) == 0b100
+        assert bs.lowest_bit(0) == 0
+
+    def test_lowest_index(self):
+        assert bs.lowest_index(0b1100) == 2
+        with pytest.raises(ValueError):
+            bs.lowest_index(0)
+
+    def test_is_subset(self):
+        assert bs.is_subset(0b101, 0b111)
+        assert not bs.is_subset(0b101, 0b110)
+        assert bs.is_subset(0, 0b1)
+
+    def test_full_set(self):
+        assert bs.full_set(3) == 0b111
+        assert bs.full_set(0) == 0
+
+    def test_iter_subsets_counts(self):
+        subs = list(bs.iter_subsets(0b111))
+        assert len(subs) == 7  # non-empty subsets of a 3-set
+        assert len(set(subs)) == 7
+
+    def test_proper_nonempty_subsets(self):
+        subs = list(bs.iter_proper_nonempty_subsets(0b111))
+        assert len(subs) == 6
+        assert 0b111 not in subs
+
+
+class TestProperties:
+    @given(bitsets)
+    def test_round_trip(self, bits):
+        assert bs.from_indices(bs.to_indices(bits)) == bits
+
+    @given(bitsets)
+    def test_popcount_matches_indices(self, bits):
+        assert bs.popcount(bits) == len(bs.to_indices(bits))
+
+    @given(bitsets)
+    def test_subsets_are_subsets(self, bits):
+        count = 0
+        for sub in bs.iter_subsets(bits & 0x3FF):
+            assert bs.is_subset(sub, bits)
+            count += 1
+        assert count == (2 ** bs.popcount(bits & 0x3FF)) - 1
+
+    @given(bitsets)
+    def test_lowest_bit_is_member(self, bits):
+        if bits:
+            low = bs.lowest_bit(bits)
+            assert low & bits
+            assert bs.popcount(low) == 1
+            assert bs.lowest_index(bits) == bs.to_indices(bits)[0]

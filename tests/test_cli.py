@@ -1,0 +1,95 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.rdf import save_ntriples, triple
+
+
+@pytest.fixture
+def query_file(tmp_path):
+    path = tmp_path / "q.sparql"
+    path.write_text(
+        """
+        SELECT ?x ?z WHERE {
+          ?x <http://e/p> ?y .
+          ?y <http://e/q> ?z .
+        }
+        """,
+        encoding="utf-8",
+    )
+    return str(path)
+
+
+@pytest.fixture
+def data_file(tmp_path):
+    triples = []
+    for i in range(10):
+        triples.append(triple(f"http://e/a{i}", "http://e/p", f"http://e/b{i}"))
+        triples.append(triple(f"http://e/b{i}", "http://e/q", f"http://e/c{i}"))
+    path = tmp_path / "data.nt"
+    save_ntriples(triples, path)
+    return str(path)
+
+
+class TestOptimize:
+    def test_text_output(self, capsys, query_file, data_file):
+        assert main(["optimize", query_file, "--data", data_file]) == 0
+        out = capsys.readouterr().out
+        assert "scan[0]" in out
+
+    def test_json_output(self, capsys, query_file):
+        assert main(["optimize", query_file, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] in ("join", "scan")
+
+    def test_dot_output(self, capsys, query_file):
+        assert main(["optimize", query_file, "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_partitioning_flag(self, capsys, query_file, data_file):
+        code = main(
+            [
+                "optimize",
+                query_file,
+                "--data",
+                data_file,
+                "--partitioning",
+                "path-bmc",
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_algorithm_fails(self, query_file):
+        with pytest.raises(ValueError):
+            main(["optimize", query_file, "--algorithm", "bogus"])
+
+
+class TestRun:
+    def test_executes_and_prints_rows(self, capsys, query_file, data_file):
+        assert main(["run", query_file, "--data", data_file, "--workers", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "?x" in captured.out and "?z" in captured.out
+        assert "result_rows: 10" in captured.err
+
+    def test_limit(self, capsys, query_file, data_file):
+        main(["run", query_file, "--data", data_file, "--limit", "2"])
+        captured = capsys.readouterr()
+        assert "more rows" in captured.err
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.query == "L7"
+        assert args.workers == 10
+
+    def test_experiments_unknown_name(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "table99"])

@@ -1,0 +1,45 @@
+"""Unit tests for Dataset statistics."""
+
+from repro.rdf import Dataset, IRI, triple
+
+
+def make_dataset():
+    return Dataset.from_triples(
+        [
+            triple("http://e/a", "http://e/p", "http://e/b"),
+            triple("http://e/a", "http://e/p", "http://e/c"),
+            triple("http://e/x", "http://e/p", "http://e/b"),
+            triple("http://e/a", "http://e/q", "http://e/b"),
+        ],
+        name="stats",
+    )
+
+
+class TestDataset:
+    def test_triple_count(self):
+        assert make_dataset().triple_count == 4
+
+    def test_predicate_statistics(self):
+        ds = make_dataset()
+        stats = ds.predicate_statistics(IRI("http://e/p"))
+        assert stats.triple_count == 3
+        assert stats.distinct_subjects == 2
+        assert stats.distinct_objects == 2
+
+    def test_unseen_predicate_zeroes(self):
+        stats = make_dataset().predicate_statistics(IRI("http://e/nope"))
+        assert stats.triple_count == 0
+        assert stats.distinct_subjects == 0
+
+    def test_predicate_cardinality(self):
+        assert make_dataset().predicate_cardinality(IRI("http://e/q")) == 1
+
+    def test_refresh_after_mutation(self):
+        ds = make_dataset()
+        ds.graph.add(triple("http://e/z", "http://e/q", "http://e/w"))
+        assert ds.predicate_cardinality(IRI("http://e/q")) == 1  # stale
+        ds.refresh()
+        assert ds.predicate_cardinality(IRI("http://e/q")) == 2
+
+    def test_repr(self):
+        assert "stats" in repr(make_dataset())

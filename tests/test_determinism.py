@@ -1,0 +1,81 @@
+"""Determinism and round-trip properties across the stack."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import parse_query
+from repro.core import optimize
+from repro.core.plans import plan_signature
+from repro.partitioning import HashSubjectObject
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.sparql.ast import BGPQuery, TriplePattern
+from repro.workloads.generators import generate_query
+from repro.core.join_graph import QueryShape
+
+
+class TestOptimizerDeterminism:
+    @pytest.mark.parametrize("algorithm", ["td-cmd", "td-cmdp", "hgr-td-cmd", "td-auto"])
+    def test_same_inputs_same_plan(self, fig1_query, algorithm):
+        a = optimize(fig1_query, algorithm=algorithm, seed=5,
+                     partitioning=HashSubjectObject())
+        b = optimize(fig1_query, algorithm=algorithm, seed=5,
+                     partitioning=HashSubjectObject())
+        assert plan_signature(a.plan) == plan_signature(b.plan)
+        assert a.cost == b.cost
+        assert a.stats.plans_considered == b.stats.plans_considered
+
+    def test_generator_determinism(self):
+        for shape in (QueryShape.TREE, QueryShape.DENSE):
+            q1 = generate_query(shape, 9, random.Random(3))
+            q2 = generate_query(shape, 9, random.Random(3))
+            assert [str(tp) for tp in q1] == [str(tp) for tp in q2]
+
+
+# hypothesis strategies for parser round-trips -------------------------------
+_names = st.text(
+    alphabet="abcdefghij", min_size=1, max_size=6
+)
+_iris = st.builds(lambda s: IRI(f"http://e/{s}"), _names)
+_variables = st.builds(Variable, _names)
+_literals = st.builds(
+    Literal,
+    st.text(alphabet="abc xyz0123", max_size=8),
+    st.just(""),
+    st.sampled_from(["", "en", "de"]),
+)
+_subjects = st.one_of(_iris, _variables)
+_objects = st.one_of(_iris, _variables, _literals)
+
+
+@st.composite
+def _queries(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    patterns = []
+    for _ in range(n):
+        patterns.append(
+            TriplePattern(draw(_subjects), draw(_iris), draw(_objects))
+        )
+    return BGPQuery(patterns)
+
+
+class TestParserRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(_queries())
+    def test_str_parse_round_trip(self, query):
+        """str(BGPQuery) is valid SPARQL that parses back to the same query."""
+        reparsed = parse_query(str(query))
+        assert len(reparsed) == len(query)
+        assert [tp.terms() for tp in reparsed] == [tp.terms() for tp in query]
+        assert set(reparsed.projection) == set(query.projection)
+
+    @settings(max_examples=40, deadline=None)
+    @given(_queries())
+    def test_round_trip_preserves_join_variables(self, query):
+        from repro.core import JoinGraph
+
+        reparsed = parse_query(str(query))
+        assert set(JoinGraph(reparsed).join_variables) == set(
+            JoinGraph(query).join_variables if len(query) > 0 else set()
+        )

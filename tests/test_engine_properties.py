@@ -1,0 +1,120 @@
+"""Property-based engine tests: distributed execution == reference,
+for random data, random queries, all partitionings, all optimizers."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import StatisticsCatalog, optimize
+from repro.core.join_graph import JoinGraph
+from repro.engine import Cluster, Executor, evaluate_reference
+from repro.partitioning import (
+    HashSubjectObject,
+    PathBMC,
+    SemanticHash,
+    UndirectedOneHop,
+)
+from repro.rdf import Dataset, IRI, triple
+from repro.rdf.terms import Variable
+from repro.sparql.ast import BGPQuery, TriplePattern
+
+METHODS = [HashSubjectObject(), SemanticHash(2), PathBMC(), UndirectedOneHop()]
+
+
+def random_dataset(rng: random.Random, vertices: int = 25, edges: int = 80) -> Dataset:
+    predicates = [f"http://e/p{i}" for i in range(4)]
+    triples = [
+        triple(
+            f"http://e/v{rng.randrange(vertices)}",
+            rng.choice(predicates),
+            f"http://e/v{rng.randrange(vertices)}",
+        )
+        for _ in range(edges)
+    ]
+    return Dataset.from_triples(triples)
+
+
+def random_connected_query(rng: random.Random, size: int) -> BGPQuery:
+    """A random connected query over the same predicate vocabulary."""
+    predicates = [IRI(f"http://e/p{i}") for i in range(4)]
+    variables = [Variable("x0")]
+    patterns = []
+    for i in range(size):
+        anchor = rng.choice(variables)
+        fresh = Variable(f"x{i + 1}")
+        variables.append(fresh)
+        if rng.random() < 0.5:
+            patterns.append(TriplePattern(anchor, rng.choice(predicates), fresh))
+        else:
+            patterns.append(TriplePattern(fresh, rng.choice(predicates), anchor))
+    return BGPQuery(patterns, name=f"random-{size}")
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    data_seed=st.integers(min_value=0, max_value=10_000),
+    query_seed=st.integers(min_value=0, max_value=10_000),
+    size=st.integers(min_value=2, max_value=5),
+    method_index=st.integers(min_value=0, max_value=3),
+    algorithm=st.sampled_from(["td-cmd", "td-cmdp", "hgr-td-cmd", "td-auto"]),
+)
+def test_distributed_equals_reference(
+    data_seed, query_seed, size, method_index, algorithm
+):
+    dataset = random_dataset(random.Random(data_seed))
+    query = random_connected_query(random.Random(query_seed), size)
+    method = METHODS[method_index]
+    reference = evaluate_reference(query, dataset.graph)
+    statistics = StatisticsCatalog.from_dataset(query, dataset)
+    result = optimize(
+        query, algorithm=algorithm, statistics=statistics, partitioning=method
+    )
+    cluster = Cluster.build(dataset, method, cluster_size=3)
+    relation, metrics = Executor(cluster).execute(result.plan, query)
+    assert relation.rows == reference.rows
+    assert metrics.result_rows == len(reference)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    cluster_size=st.integers(min_value=1, max_value=6),
+)
+def test_cluster_size_does_not_change_results(seed, cluster_size):
+    rng = random.Random(seed)
+    dataset = random_dataset(rng)
+    query = random_connected_query(rng, 3)
+    method = HashSubjectObject()
+    reference = evaluate_reference(query, dataset.graph)
+    statistics = StatisticsCatalog.from_dataset(query, dataset)
+    result = optimize(query, statistics=statistics, partitioning=method)
+    cluster = Cluster.build(dataset, method, cluster_size=cluster_size)
+    relation, _ = Executor(cluster).execute(result.plan, query)
+    assert relation.rows == reference.rows
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_metrics_are_consistent(seed):
+    """Shipped tuples can never exceed read tuples scaled by fan-out."""
+    rng = random.Random(seed)
+    dataset = random_dataset(rng)
+    query = random_connected_query(rng, 4)
+    method = HashSubjectObject()
+    statistics = StatisticsCatalog.from_dataset(query, dataset)
+    result = optimize(query, statistics=statistics, partitioning=method)
+    cluster = Cluster.build(dataset, method, cluster_size=3)
+    _, metrics = Executor(cluster).execute(result.plan, query)
+    assert metrics.total_tuples_read >= 0
+    assert metrics.total_tuples_shipped >= 0
+    assert metrics.critical_path_cost >= 0
+    # every operator priced individually contributes non-negative cost
+    from repro.core.cost import PAPER_PARAMETERS
+
+    for op in metrics.operators:
+        assert op.simulated_cost(PAPER_PARAMETERS) >= 0

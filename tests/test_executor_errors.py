@@ -1,0 +1,139 @@
+"""Failure injection for the executor and query-graph edge cases."""
+
+import pytest
+
+from repro import parse_query
+from repro.core import JoinGraph
+from repro.core.plans import JoinAlgorithm, JoinNode, PlanNode, ScanNode
+from repro.engine import Cluster, ExecutionError, Executor
+from repro.engine.relations import Relation
+from repro.partitioning import HashSubjectObject
+from repro.rdf import Dataset, IRI, triple
+from repro.rdf.terms import Variable
+from repro.sparql.ast import TriplePattern
+from repro.sparql.query_graph import QueryGraph
+
+
+@pytest.fixture
+def cluster():
+    dataset = Dataset.from_triples(
+        [triple(f"http://e/a{i}", "http://e/p", f"http://e/b{i}") for i in range(5)]
+    )
+    return Cluster.build(dataset, HashSubjectObject(), cluster_size=2)
+
+
+def scan_node(index: int, pattern) -> ScanNode:
+    return ScanNode(
+        bits=1 << index, cardinality=1.0, cost=0.0, pattern_index=index, pattern=pattern
+    )
+
+
+class TestExecutorErrors:
+    def test_scan_without_pattern_rejected(self, cluster):
+        bogus = ScanNode(bits=1, cardinality=1.0, cost=0.0, pattern_index=0, pattern=None)
+        with pytest.raises(ExecutionError):
+            Executor(cluster).execute(bogus)
+
+    def test_unknown_node_type_rejected(self, cluster):
+        bogus = PlanNode(bits=1, cardinality=1.0, cost=0.0)
+        with pytest.raises(ExecutionError):
+            Executor(cluster).execute(bogus)
+
+    def test_repartition_without_shared_variable_rejected(self, cluster):
+        # two patterns with disjoint variables, forced into one repartition join
+        tp_a = TriplePattern(Variable("x"), IRI("http://e/p"), Variable("y"))
+        tp_b = TriplePattern(Variable("v"), IRI("http://e/p"), Variable("w"))
+        join = JoinNode(
+            bits=0b11,
+            cardinality=1.0,
+            cost=0.0,
+            algorithm=JoinAlgorithm.REPARTITION,
+            join_variable=None,
+            children=(scan_node(0, tp_a), scan_node(1, tp_b)),
+        )
+        with pytest.raises(ExecutionError):
+            Executor(cluster).execute(join)
+
+    def test_repartition_with_missing_variable_rejected(self, cluster):
+        tp_a = TriplePattern(Variable("x"), IRI("http://e/p"), Variable("y"))
+        tp_b = TriplePattern(Variable("y"), IRI("http://e/p"), Variable("z"))
+        join = JoinNode(
+            bits=0b11,
+            cardinality=1.0,
+            cost=0.0,
+            algorithm=JoinAlgorithm.REPARTITION,
+            join_variable=Variable("nope"),
+            children=(scan_node(0, tp_a), scan_node(1, tp_b)),
+        )
+        with pytest.raises(ExecutionError):
+            Executor(cluster).execute(join)
+
+    def test_execute_bare_scan(self, cluster):
+        tp = TriplePattern(Variable("s"), IRI("http://e/p"), Variable("o"))
+        relation, metrics = Executor(cluster).execute(scan_node(0, tp))
+        assert len(relation) == 5
+        assert metrics.critical_path_cost == 0.0  # scans are free per Table I
+
+
+class TestQueryGraph:
+    def test_edges_and_neighbors(self):
+        q = parse_query(
+            """
+            SELECT * WHERE {
+              ?a <http://e/p> ?b .
+              ?b <http://e/q> ?c .
+              ?a <http://e/r> ?c .
+            }
+            """
+        )
+        qg = QueryGraph(q)
+        a, b, c = Variable("a"), Variable("b"), Variable("c")
+        assert len(qg.vertices) == 3
+        assert len(qg.out_edges(a)) == 2
+        assert len(qg.in_edges(c)) == 2
+        assert qg.neighbors(b) == {a, c}
+        assert len(qg.edges(b)) == 2
+
+    def test_reachable_patterns_follow_direction(self):
+        q = parse_query(
+            """
+            SELECT * WHERE {
+              ?a <http://e/p> ?b .
+              ?c <http://e/q> ?b .
+            }
+            """
+        )
+        qg = QueryGraph(q)
+        assert len(qg.reachable_patterns(Variable("a"))) == 1
+        assert len(qg.reachable_patterns(Variable("b"))) == 0
+
+    def test_forward_hops_zero_frontier(self):
+        q = parse_query("SELECT * WHERE { ?a <http://e/p> ?b . }")
+        qg = QueryGraph(q)
+        assert qg.patterns_within_forward_hops(Variable("b"), 3) == frozenset()
+
+
+class TestRelationEdgeCases:
+    def test_empty_relation_join(self):
+        left = Relation([Variable("x")])
+        right = Relation([Variable("x")])
+        from repro.engine.relations import hash_join
+
+        assert len(hash_join(left, right)) == 0
+
+    def test_multi_join_single_input(self):
+        from repro.engine.relations import multi_join
+
+        r = Relation([Variable("x")], {(IRI("a"),)})
+        assert multi_join([r]) is r
+
+    def test_multi_join_empty_rejected(self):
+        from repro.engine.relations import multi_join
+
+        with pytest.raises(ValueError):
+            multi_join([])
+
+    def test_project_onto_absent_variable(self):
+        r = Relation([Variable("x")], {(IRI("a"),)})
+        projected = r.project([Variable("zz")])
+        assert projected.variables == ()

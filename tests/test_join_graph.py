@@ -1,0 +1,130 @@
+"""Unit tests for the join graph and query-shape classification."""
+
+import pytest
+
+from repro import parse_query
+from repro.core import JoinGraph, QueryShape
+from repro.core import bitset as bs
+from repro.rdf.terms import Variable
+from repro.workloads.generators import (
+    chain_query,
+    cycle_query,
+    dense_query,
+    star_query,
+    tree_query,
+)
+
+
+class TestFigure1:
+    """Properties of the running example, checked against the paper."""
+
+    def test_vertex_counts(self, fig1_graph):
+        assert fig1_graph.size == 7
+        # join variables: ?a ?b ?c ?d ?e (?f ?g appear once)
+        assert {v.name for v in fig1_graph.join_variables} == {"a", "b", "c", "d", "e"}
+
+    def test_ntp_example_1(self, fig1_graph):
+        """Example 1: Ntp(?c) = {tp2, tp6}, degree 2."""
+        ntp = fig1_graph.ntp(Variable("c"))
+        assert bs.to_indices(ntp) == [1, 5]  # 0-based tp2/tp6
+        assert fig1_graph.degree(Variable("c")) == 2
+
+    def test_degree_of_a(self, fig1_graph):
+        # ?a appears in tp1, tp2, tp3, tp7
+        assert fig1_graph.degree(Variable("a")) == 4
+        assert fig1_graph.max_degree() == 4
+
+    def test_shape_is_dense(self, fig1_graph):
+        assert fig1_graph.shape() is QueryShape.DENSE
+
+    def test_full_query_connected(self, fig1_graph):
+        assert fig1_graph.is_connected(fig1_graph.full)
+
+    def test_component_structure_without_a(self, fig1_graph):
+        """Removing ?a: {tp1,tp5}, {tp2,tp6,tp7}, {tp3,tp4} (tp7 joins ?d with tp6)."""
+        components = fig1_graph.connected_components(
+            fig1_graph.full, exclude=Variable("a")
+        )
+        index_sets = sorted(tuple(bs.to_indices(c)) for c in components)
+        assert index_sets == [(0, 4), (1, 5, 6), (2, 3)]
+
+
+class TestConnectivity:
+    def test_empty_and_singleton_connected(self, fig1_graph):
+        assert fig1_graph.is_connected(0)
+        assert fig1_graph.is_connected(bs.bit(3))
+
+    def test_disconnected_subquery(self, fig1_graph):
+        # tp4 (?e ?g) and tp5 (?b ?f) share no variable
+        assert not fig1_graph.is_connected(bs.from_indices([3, 4]))
+
+    def test_neighbors(self, fig1_graph):
+        # tp4 touches only ?e -> neighbor is tp3
+        assert bs.to_indices(fig1_graph.neighbors(bs.bit(3))) == [2]
+
+    def test_neighbors_exclude_variable(self, fig1_graph):
+        # tp1 neighbors: via ?a -> tp2, tp3, tp7; via ?b -> tp5
+        assert bs.to_indices(fig1_graph.neighbors(bs.bit(0))) == [1, 2, 4, 6]
+        assert bs.to_indices(
+            fig1_graph.neighbors(bs.bit(0), exclude=Variable("a"))
+        ) == [4]
+
+
+class TestShapes:
+    def test_chain(self):
+        assert JoinGraph(chain_query(5)).shape() is QueryShape.CHAIN
+
+    def test_two_pattern_chain_vs_star(self):
+        # L2-style: object of one joins subject of the other -> chain
+        chain2 = parse_query(
+            "SELECT * WHERE { ?x <http://e/p> ?y . ?y <http://e/q> <http://e/o> . }"
+        )
+        assert JoinGraph(chain2).shape() is QueryShape.CHAIN
+        # L1-style: both share the subject -> star
+        star2 = parse_query(
+            "SELECT * WHERE { ?x <http://e/p> <http://e/a> . ?x <http://e/q> <http://e/b> . }"
+        )
+        assert JoinGraph(star2).shape() is QueryShape.STAR
+
+    def test_cycle(self):
+        assert JoinGraph(cycle_query(6)).shape() is QueryShape.CYCLE
+
+    def test_star(self):
+        jg = JoinGraph(star_query(7))
+        assert jg.shape() is QueryShape.STAR
+        assert jg.max_degree() == 7
+
+    def test_tree(self):
+        jg = JoinGraph(tree_query(8))
+        assert jg.shape() in (QueryShape.TREE, QueryShape.CHAIN, QueryShape.STAR)
+        assert not jg.is_cyclic()
+
+    def test_dense(self):
+        jg = JoinGraph(dense_query(10))
+        assert jg.shape() is QueryShape.DENSE
+        assert jg.cycle_rank() >= 2
+
+    def test_single_pattern(self):
+        q = parse_query("SELECT * WHERE { ?x <http://e/p> ?y . }")
+        assert JoinGraph(q).shape() is QueryShape.SINGLE
+
+    def test_vt_vj_ratio(self):
+        jg = JoinGraph(chain_query(5))
+        assert jg.vt_vj_ratio() == pytest.approx(5 / 4)
+        single = parse_query("SELECT * WHERE { ?x <http://e/p> ?y . }")
+        assert JoinGraph(single).vt_vj_ratio() == float("inf")
+
+
+class TestVariablesOf:
+    def test_variables_of_subquery(self, fig1_graph):
+        # tp1 = ?b p1 ?a, tp5 = ?b p5 ?f
+        names = {v.name for v in fig1_graph.variables_of(bs.from_indices([0, 4]))}
+        assert names == {"a", "b", "f"}
+
+    def test_shared_variables(self, fig1_graph):
+        shared = fig1_graph.shared_variables(bs.bit(0), bs.bit(4))
+        assert {v.name for v in shared} == {"b"}
+
+    def test_join_variables_in(self, fig1_graph):
+        inside = fig1_graph.join_variables_in(bs.from_indices([0, 4]))
+        assert {v.name for v in inside} == {"b"}

@@ -1,0 +1,113 @@
+"""Tests for maximal local queries and local-query detection (Appendix A)."""
+
+import pytest
+
+from repro import parse_query
+from repro.core import JoinGraph, LocalQueryIndex
+from repro.core import bitset as bs
+from repro.partitioning import (
+    HashSubjectObject,
+    PathBMC,
+    SemanticHash,
+    UndirectedOneHop,
+)
+
+
+class TestHashSOExample7:
+    """Example 7: hash partitioning, MLQ at ?a = {tp1, tp2, tp3, tp7}."""
+
+    def test_mlq_at_a(self, fig1_query):
+        jg = JoinGraph(fig1_query)
+        index = LocalQueryIndex(jg, HashSubjectObject())
+        expected = bs.from_indices([0, 1, 2, 6])
+        assert expected in index.maximal_local_queries
+
+    def test_subqueries_of_mlq_are_local(self, fig1_query):
+        jg = JoinGraph(fig1_query)
+        index = LocalQueryIndex(jg, HashSubjectObject())
+        # {tp1, tp2, tp3} from the example
+        assert index.is_local(bs.from_indices([0, 1, 2]))
+        assert index.is_local(bs.from_indices([0, 1, 2, 6]))
+
+    def test_non_shared_vertex_subquery_not_local(self, fig1_query):
+        jg = JoinGraph(fig1_query)
+        index = LocalQueryIndex(jg, HashSubjectObject())
+        # tp1 (?b,?a) and tp4 (?e,?g) share no vertex
+        assert not index.is_local(bs.from_indices([0, 3]))
+        # full query not local under hash partitioning
+        assert not index.is_local(jg.full)
+
+    def test_singletons_always_local(self, fig1_query):
+        jg = JoinGraph(fig1_query)
+        for partitioning in (None, HashSubjectObject(), SemanticHash(2), PathBMC()):
+            index = LocalQueryIndex(jg, partitioning)
+            for i in range(jg.size):
+                assert index.is_local(bs.bit(i))
+
+
+class TestPathPartitioningExample5:
+    """Example 5: path partitioning, MLQ at ?b = {tp1, tp3, tp4, tp5, tp7}."""
+
+    def test_mlq_at_b(self, fig1_query):
+        jg = JoinGraph(fig1_query)
+        index = LocalQueryIndex(jg, PathBMC())
+        expected = bs.from_indices([0, 2, 3, 4, 6])
+        assert expected in index.maximal_local_queries
+
+    def test_subqueries_of_reachable_set_are_local(self, fig1_query):
+        jg = JoinGraph(fig1_query)
+        index = LocalQueryIndex(jg, PathBMC())
+        assert index.is_local(bs.from_indices([0, 2, 3]))
+        assert index.is_local(bs.from_indices([2, 3, 6]))
+
+
+class TestSemanticHash:
+    def test_two_hop_forward(self):
+        q = parse_query(
+            """
+            SELECT * WHERE {
+              ?a <http://e/p> ?b .
+              ?b <http://e/q> ?c .
+              ?c <http://e/r> ?d .
+            }
+            """
+        )
+        jg = JoinGraph(q)
+        index = LocalQueryIndex(jg, SemanticHash(2))
+        # 2 forward hops from ?a cover tp0, tp1 but not tp2
+        assert index.is_local(0b011)
+        assert index.is_local(0b110)  # 2 hops from ?b
+        assert not index.is_local(0b111)
+        # 3f covers the whole chain
+        index3 = LocalQueryIndex(jg, SemanticHash(3))
+        assert index3.is_local(0b111)
+
+    def test_hops_validation(self):
+        with pytest.raises(ValueError):
+            SemanticHash(0)
+
+
+class TestNoPartitioning:
+    def test_only_singletons_local(self, fig1_graph):
+        index = LocalQueryIndex(fig1_graph, None)
+        assert index.maximal_local_queries == []
+        assert index.is_local(bs.bit(2))
+        assert not index.is_local(bs.from_indices([0, 1]))
+
+
+class TestMLQProperties:
+    def test_mlqs_deduplicated_and_maximal(self, fig1_query):
+        jg = JoinGraph(fig1_query)
+        for method in (HashSubjectObject(), SemanticHash(2), PathBMC(), UndirectedOneHop()):
+            mlqs = LocalQueryIndex(jg, method).maximal_local_queries
+            assert len(mlqs) == len(set(mlqs))
+            for a in mlqs:
+                for b in mlqs:
+                    if a != b:
+                        assert not bs.is_subset(a, b)
+
+    def test_mlqs_are_connected(self, fig1_query):
+        jg = JoinGraph(fig1_query)
+        for method in (HashSubjectObject(), SemanticHash(2), PathBMC()):
+            for mlq in LocalQueryIndex(jg, method).maximal_local_queries:
+                assert jg.is_connected(mlq)

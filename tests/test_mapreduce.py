@@ -1,0 +1,118 @@
+"""Tests for MapReduce stage compilation and the overhead crossover."""
+
+import pytest
+
+from repro.baselines import MSCOptimizer
+from repro.core import LocalQueryIndex, TopDownEnumerator
+from repro.core.optimizer import make_builder
+from repro.core.plans import JoinAlgorithm
+from repro.engine.mapreduce import (
+    MapReduceSimulator,
+    compile_stages,
+    overhead_crossover,
+)
+from repro.partitioning import HashSubjectObject
+from repro.workloads.generators import chain_query, star_query, tree_query
+
+
+@pytest.fixture
+def builder():
+    return make_builder(chain_query(5), seed=2)
+
+
+class TestCompileStages:
+    def test_scan_only_plan_has_no_stages(self, builder):
+        schedule = compile_stages(builder.scan(0))
+        assert schedule.job_count == 0
+        assert schedule.wave_count == 0
+
+    def test_flat_local_plan_has_no_jobs(self, builder):
+        plan = builder.local_join_plan(0b11111)
+        schedule = compile_stages(plan)
+        assert schedule.job_count == 0
+
+    def test_left_deep_plan_one_job_per_join(self, builder):
+        plan = builder.scan(0)
+        for i in range(1, 5):
+            plan = builder.join(JoinAlgorithm.REPARTITION, [plan, builder.scan(i)])
+        schedule = compile_stages(plan)
+        assert schedule.job_count == 4
+        assert schedule.wave_count == 4  # strictly sequential
+
+    def test_bushy_plan_parallel_waves(self, builder):
+        left = builder.join(
+            JoinAlgorithm.REPARTITION, [builder.scan(0), builder.scan(1)]
+        )
+        right = builder.join(
+            JoinAlgorithm.REPARTITION, [builder.scan(3), builder.scan(4)]
+        )
+        mid = builder.join(JoinAlgorithm.BROADCAST, [right, builder.scan(2)])
+        root = builder.join(JoinAlgorithm.REPARTITION, [left, mid])
+        schedule = compile_stages(root)
+        assert schedule.job_count == 4
+        # left and right run in wave 0, mid in wave 1, root in wave 2
+        assert schedule.wave_count == 3
+        assert len(schedule.jobs_in_wave(0)) == 2
+
+    def test_local_join_rides_along(self, builder):
+        local = builder.local_join_plan(0b00011)
+        root = builder.join(JoinAlgorithm.REPARTITION, [local, builder.scan(2)])
+        schedule = compile_stages(root)
+        assert schedule.job_count == 1
+        assert schedule.wave_count == 1
+
+
+class TestSimulator:
+    def test_zero_overhead_equals_wave_data_costs(self, builder):
+        plan = builder.join(
+            JoinAlgorithm.REPARTITION, [builder.scan(0), builder.scan(1)]
+        )
+        schedule, makespan = MapReduceSimulator().simulate_plan(plan)
+        assert makespan == pytest.approx(
+            schedule.stages[0].data_cost(builder.parameters)
+        )
+
+    def test_overhead_charged_per_wave(self, builder):
+        plan = builder.scan(0)
+        for i in range(1, 5):
+            plan = builder.join(JoinAlgorithm.REPARTITION, [plan, builder.scan(i)])
+        base = MapReduceSimulator(job_startup_cost=0.0).makespan(
+            compile_stages(plan)
+        )
+        with_overhead = MapReduceSimulator(job_startup_cost=10.0).makespan(
+            compile_stages(plan)
+        )
+        assert with_overhead == pytest.approx(base + 4 * 10.0)
+
+
+class TestCrossover:
+    def test_flat_beats_deep_at_high_overhead(self):
+        """The paper's flat-plan motivation, made quantitative: MSC's
+        plan wins once per-job startup dominates data movement."""
+        import random
+
+        query = tree_query(8, random.Random(1))
+        builder = make_builder(query, seed=1)
+        index = LocalQueryIndex(builder.join_graph, HashSubjectObject())
+        bushy = TopDownEnumerator(builder.join_graph, builder, index).optimize().plan
+        flat = (
+            MSCOptimizer(builder.join_graph, builder, index, timeout_seconds=60)
+            .optimize()
+            .plan
+        )
+        flat_schedule = compile_stages(flat)
+        bushy_schedule = compile_stages(bushy)
+        if bushy_schedule.wave_count <= flat_schedule.wave_count:
+            pytest.skip("optimal plan already as flat as MSC's on this instance")
+        crossover = overhead_crossover(flat, bushy, builder.parameters)
+        assert crossover is not None
+        big = MapReduceSimulator(job_startup_cost=crossover * 10 + 1)
+        assert big.makespan(flat_schedule) < big.makespan(bushy_schedule)
+        small = MapReduceSimulator(job_startup_cost=0.0)
+        assert small.makespan(flat_schedule) >= small.makespan(bushy_schedule)
+
+    def test_crossover_none_when_not_flatter(self, builder):
+        plan = builder.join(
+            JoinAlgorithm.REPARTITION, [builder.scan(0), builder.scan(1)]
+        )
+        assert overhead_crossover(plan, plan) is None

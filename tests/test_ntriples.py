@@ -1,0 +1,98 @@
+"""Unit tests for the N-Triples codec."""
+
+import pytest
+
+from repro.rdf import (
+    BlankNode,
+    IRI,
+    Literal,
+    NTriplesError,
+    RDFGraph,
+    Triple,
+    load_ntriples,
+    parse_ntriples,
+    save_ntriples,
+    serialize_ntriples,
+)
+
+
+def parse_one(line: str) -> Triple:
+    (result,) = list(parse_ntriples(line))
+    return result
+
+
+class TestParsing:
+    def test_simple_triple(self):
+        t = parse_one("<http://e/a> <http://e/p> <http://e/b> .")
+        assert t == Triple(IRI("http://e/a"), IRI("http://e/p"), IRI("http://e/b"))
+
+    def test_literal_object(self):
+        t = parse_one('<http://e/a> <http://e/p> "hello" .')
+        assert t.object == Literal("hello")
+
+    def test_language_literal(self):
+        t = parse_one('<http://e/a> <http://e/p> "bonjour"@fr .')
+        assert t.object == Literal("bonjour", language="fr")
+
+    def test_datatype_literal(self):
+        t = parse_one('<http://e/a> <http://e/p> "5"^^<http://x/int> .')
+        assert t.object == Literal("5", datatype="http://x/int")
+
+    def test_escapes(self):
+        t = parse_one('<http://e/a> <http://e/p> "line\\nbreak \\"q\\"" .')
+        assert t.object.lexical == 'line\nbreak "q"'
+
+    def test_unicode_escape(self):
+        t = parse_one('<http://e/a> <http://e/p> "\\u00e9" .')
+        assert t.object.lexical == "é"
+
+    def test_blank_nodes(self):
+        t = parse_one("_:x <http://e/p> _:y .")
+        assert t.subject == BlankNode("x")
+        assert t.object == BlankNode("y")
+
+    def test_comments_and_blank_lines_skipped(self):
+        doc = "# comment\n\n<http://e/a> <http://e/p> <http://e/b> .\n"
+        assert len(list(parse_ntriples(doc))) == 1
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "<http://e/a> <http://e/p> <http://e/b>",  # missing dot
+            "<http://e/a> <http://e/p> .",  # missing object
+            '"lit" <http://e/p> <http://e/b> .',  # literal subject
+            "<http://e/a> _:p <http://e/b> .",  # blank predicate
+            '<http://e/a> <http://e/p> "unterminated .',
+            "<http://e/a <http://e/p> <http://e/b> .",  # unterminated IRI
+        ],
+    )
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(NTriplesError):
+            list(parse_ntriples(line))
+
+    def test_error_carries_line_number(self):
+        doc = "<http://e/a> <http://e/p> <http://e/b> .\nbogus\n"
+        with pytest.raises(NTriplesError) as excinfo:
+            list(parse_ntriples(doc))
+        assert excinfo.value.line_number == 2
+
+
+class TestRoundTrip:
+    def test_serialize_parse_round_trip(self):
+        triples = [
+            Triple(IRI("http://e/a"), IRI("http://e/p"), Literal("x\ny", language="")),
+            Triple(BlankNode("b"), IRI("http://e/p"), IRI("http://e/c")),
+            Triple(IRI("http://e/a"), IRI("http://e/q"), Literal("5", datatype="http://x/i")),
+        ]
+        doc = serialize_ntriples(triples)
+        assert list(parse_ntriples(doc)) == triples
+
+    def test_file_round_trip(self, tmp_path):
+        triples = [Triple(IRI(f"http://e/{i}"), IRI("http://e/p"), Literal(str(i)))
+                   for i in range(10)]
+        path = tmp_path / "data.nt"
+        assert save_ntriples(triples, path) == 10
+        graph = load_ntriples(path)
+        assert isinstance(graph, RDFGraph)
+        assert len(graph) == 10
+        assert set(graph) == set(triples)

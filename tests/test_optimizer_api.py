@@ -1,0 +1,79 @@
+"""Tests for the public optimize() facade and package exports."""
+
+import pytest
+
+import repro
+from repro import optimize, parse_query
+from repro.core import ALGORITHMS, OptimizationResult
+from repro.core.plans import validate_plan
+from repro.partitioning import HashSubjectObject
+from repro.rdf import Dataset, triple
+from repro.workloads import generate_lubm, lubm_query
+
+
+class TestFacade:
+    def test_all_registered_algorithms_run(self, fig1_query):
+        for name in ALGORITHMS:
+            result = optimize(fig1_query, algorithm=name, seed=7)
+            assert isinstance(result, OptimizationResult)
+            validate_plan(result.plan)
+
+    def test_algorithm_case_insensitive(self, fig1_query):
+        assert optimize(fig1_query, algorithm="TD-CMD").algorithm == "TD-CMD"
+
+    def test_unknown_algorithm_rejected(self, fig1_query):
+        with pytest.raises(ValueError):
+            optimize(fig1_query, algorithm="quantum")
+
+    def test_seed_reproducible(self, fig1_query):
+        a = optimize(fig1_query, seed=3)
+        b = optimize(fig1_query, seed=3)
+        assert a.cost == b.cost
+
+    def test_dataset_statistics_path(self):
+        ds = Dataset.from_triples(
+            [
+                triple("http://e/a", "http://e/p", "http://e/b"),
+                triple("http://e/b", "http://e/q", "http://e/c"),
+            ]
+        )
+        q = parse_query("SELECT * WHERE { ?x <http://e/p> ?y . ?y <http://e/q> ?z . }")
+        result = optimize(q, dataset=ds)
+        assert result.cost >= 0
+
+    def test_partitioning_changes_plans(self):
+        """A hash-local star query should use a local join."""
+        q = parse_query(
+            """
+            SELECT * WHERE {
+              ?x <http://e/p> ?a .
+              ?x <http://e/q> ?b .
+              ?x <http://e/r> ?c .
+            }
+            """
+        )
+        with_part = optimize(q, partitioning=HashSubjectObject(), seed=1)
+        without = optimize(q, partitioning=None, seed=1)
+        assert with_part.cost <= without.cost
+
+    def test_result_carries_timing_and_stats(self, fig1_query):
+        result = optimize(fig1_query, seed=0)
+        assert result.elapsed_seconds >= 0
+        assert result.stats.plans_considered > 0
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_lubm_end_to_end_via_public_api(self):
+        """The README quickstart flow, as a test."""
+        dataset = generate_lubm()
+        query = lubm_query("L4")
+        result = optimize(
+            query,
+            algorithm="td-auto",
+            dataset=dataset,
+            partitioning=HashSubjectObject(),
+        )
+        assert result.plan.pattern_count == len(query)

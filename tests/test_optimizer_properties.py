@@ -1,0 +1,70 @@
+"""Hypothesis properties across the optimizer family.
+
+The dominance lattice the paper relies on, checked on random queries:
+
+* TD-CMD ≤ every other algorithm (it explores a superset),
+* TD-CMDP ≤ TriAD-DP (binary space ⊂ TD-CMDP space) when neither
+  exploits locality differently (no partitioning),
+* all plans are structurally valid and cover every pattern.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines import TriADOptimizer
+from repro.core import (
+    PrunedTopDownEnumerator,
+    ReductionOptimizer,
+    TopDownEnumerator,
+)
+from repro.core.optimizer import make_builder
+from repro.core.plans import validate_plan
+from repro.core.join_graph import QueryShape
+from repro.workloads.generators import generate_query
+
+_SHAPES = [QueryShape.CHAIN, QueryShape.CYCLE, QueryShape.TREE, QueryShape.DENSE]
+_MINIMUM = {
+    QueryShape.CHAIN: 2,
+    QueryShape.CYCLE: 3,
+    QueryShape.TREE: 2,
+    QueryShape.DENSE: 4,
+}
+
+
+@st.composite
+def small_problem(draw):
+    shape = draw(st.sampled_from(_SHAPES))
+    size = draw(st.integers(min_value=_MINIMUM[shape], max_value=7))
+    seed = draw(st.integers(min_value=0, max_value=5000))
+    query = generate_query(shape, size, random.Random(seed))
+    return make_builder(query, seed=seed)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(small_problem())
+def test_tdcmd_dominates_all_variants(builder):
+    best = TopDownEnumerator(builder.join_graph, builder).optimize()
+    for cls in (PrunedTopDownEnumerator, ReductionOptimizer, TriADOptimizer):
+        other = cls(builder.join_graph, builder).optimize()
+        validate_plan(other.plan, builder.join_graph.full)
+        assert best.cost <= other.cost * (1 + 1e-9), cls.__name__
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(small_problem())
+def test_tdcmdp_dominates_binary_only(builder):
+    pruned = PrunedTopDownEnumerator(builder.join_graph, builder).optimize()
+    binary = TriADOptimizer(builder.join_graph, builder).optimize()
+    assert pruned.cost <= binary.cost * (1 + 1e-9)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(small_problem())
+def test_plans_cover_query_and_validate(builder):
+    for cls in (TopDownEnumerator, PrunedTopDownEnumerator, ReductionOptimizer):
+        result = cls(builder.join_graph, builder).optimize()
+        validate_plan(result.plan, builder.join_graph.full)
+        assert result.plan.pattern_count == builder.join_graph.size
+        assert result.cost >= 0.0

@@ -1,0 +1,118 @@
+"""Tests for plan trees: structure, validation, signatures."""
+
+import pytest
+
+from repro.core import JoinGraph
+from repro.core import bitset as bs
+from repro.core.cardinality import CardinalityEstimator, StatisticsCatalog
+from repro.core.cost import PlanBuilder
+from repro.core.plans import (
+    JoinAlgorithm,
+    JoinNode,
+    ScanNode,
+    count_operators,
+    plan_signature,
+    validate_plan,
+)
+from repro.workloads.generators import chain_query
+
+
+@pytest.fixture
+def builder():
+    q = chain_query(4)
+    jg = JoinGraph(q)
+    return PlanBuilder(jg, CardinalityEstimator(jg, StatisticsCatalog.uniform(q)))
+
+
+class TestStructure:
+    def test_walk_preorder(self, builder):
+        plan = builder.join(
+            JoinAlgorithm.REPARTITION,
+            [
+                builder.join(JoinAlgorithm.LOCAL, [builder.scan(0), builder.scan(1)]),
+                builder.join(JoinAlgorithm.LOCAL, [builder.scan(2), builder.scan(3)]),
+            ],
+        )
+        nodes = list(plan.walk())
+        assert len(nodes) == 7
+        assert isinstance(nodes[0], JoinNode)
+        assert count_operators(plan) == 3
+        assert len(list(plan.leaves())) == 4
+
+    def test_depth(self, builder):
+        scan = builder.scan(0)
+        assert scan.depth() == 0
+        flat = builder.join(
+            JoinAlgorithm.LOCAL, [builder.scan(i) for i in range(4)]
+        )
+        assert flat.depth() == 1
+
+    def test_describe_renders_tree(self, builder):
+        plan = builder.join(
+            JoinAlgorithm.BROADCAST, [builder.scan(0), builder.scan(1)]
+        )
+        text = plan.describe()
+        assert "⋈B" in text
+        assert "scan[0]" in text and "scan[1]" in text
+
+    def test_join_symbols(self):
+        assert JoinAlgorithm.LOCAL.symbol == "⋈L"
+        assert JoinAlgorithm.BROADCAST.symbol == "⋈B"
+        assert JoinAlgorithm.REPARTITION.symbol == "⋈R"
+
+
+class TestValidation:
+    def test_valid_plan_passes(self, builder):
+        plan = builder.join(
+            JoinAlgorithm.REPARTITION, [builder.scan(0), builder.scan(1)]
+        )
+        validate_plan(plan, expected_bits=0b11)
+
+    def test_wrong_root_bits_rejected(self, builder):
+        plan = builder.join(
+            JoinAlgorithm.REPARTITION, [builder.scan(0), builder.scan(1)]
+        )
+        with pytest.raises(ValueError):
+            validate_plan(plan, expected_bits=0b111)
+
+    def test_overlapping_children_detected(self, builder):
+        s0 = builder.scan(0)
+        bogus = JoinNode(
+            bits=0b1,
+            cardinality=1.0,
+            cost=0.0,
+            algorithm=JoinAlgorithm.LOCAL,
+            children=(s0, s0),
+        )
+        with pytest.raises(ValueError):
+            validate_plan(bogus)
+
+    def test_arity_one_detected(self, builder):
+        bogus = JoinNode(
+            bits=0b1,
+            cardinality=1.0,
+            cost=0.0,
+            algorithm=JoinAlgorithm.LOCAL,
+            children=(builder.scan(0),),
+        )
+        with pytest.raises(ValueError):
+            validate_plan(bogus)
+
+    def test_multi_pattern_scan_detected(self):
+        bogus = ScanNode(bits=0b11, cardinality=1.0, cost=0.0, pattern_index=0)
+        with pytest.raises(ValueError):
+            validate_plan(bogus)
+
+
+class TestSignature:
+    def test_signature_is_child_order_insensitive(self, builder):
+        a = builder.join(JoinAlgorithm.LOCAL, [builder.scan(0), builder.scan(1)])
+        b = builder.join(JoinAlgorithm.LOCAL, [builder.scan(1), builder.scan(0)])
+        assert plan_signature(a) == plan_signature(b)
+
+    def test_signature_distinguishes_algorithms(self, builder):
+        a = builder.join(JoinAlgorithm.LOCAL, [builder.scan(0), builder.scan(1)])
+        b = builder.join(
+            JoinAlgorithm.REPARTITION, [builder.scan(0), builder.scan(1)]
+        )
+        assert plan_signature(a) != plan_signature(b)

@@ -1,0 +1,62 @@
+"""Tests for sampling-based statistics (StatisticsCatalog.from_sample)."""
+
+import random
+
+import pytest
+
+from repro.core import StatisticsCatalog, optimize
+from repro.engine import Cluster, Executor, evaluate_reference
+from repro.partitioning import HashSubjectObject
+from repro.workloads import generate_lubm, lubm_query
+
+
+@pytest.fixture(scope="module")
+def lubm():
+    return generate_lubm()
+
+
+class TestFromSample:
+    def test_full_sample_equals_exact(self, lubm):
+        query = lubm_query("L4")
+        exact = StatisticsCatalog.from_dataset(query, lubm)
+        sampled = StatisticsCatalog.from_sample(query, lubm, fraction=1.0)
+        for a, b in zip(exact.per_pattern, sampled.per_pattern):
+            assert a.cardinality == pytest.approx(b.cardinality)
+
+    def test_sampled_counts_are_scaled(self, lubm):
+        query = lubm_query("L2")
+        exact = StatisticsCatalog.from_dataset(query, lubm)
+        sampled = StatisticsCatalog.from_sample(
+            query, lubm, fraction=0.5, rng=random.Random(1)
+        )
+        for a, b in zip(exact.per_pattern, sampled.per_pattern):
+            # scaled estimate within a loose factor of truth on half samples
+            assert b.cardinality == pytest.approx(a.cardinality, rel=0.7)
+            assert b.cardinality >= 1.0
+
+    def test_deterministic_for_seed(self, lubm):
+        query = lubm_query("L2")
+        a = StatisticsCatalog.from_sample(query, lubm, 0.3, random.Random(7))
+        b = StatisticsCatalog.from_sample(query, lubm, 0.3, random.Random(7))
+        assert [s.cardinality for s in a.per_pattern] == [
+            s.cardinality for s in b.per_pattern
+        ]
+
+    def test_fraction_validated(self, lubm):
+        query = lubm_query("L1")
+        with pytest.raises(ValueError):
+            StatisticsCatalog.from_sample(query, lubm, fraction=0.0)
+        with pytest.raises(ValueError):
+            StatisticsCatalog.from_sample(query, lubm, fraction=1.5)
+
+    def test_plans_from_sampled_stats_still_execute_correctly(self, lubm):
+        """Bad estimates change plan choice, never correctness."""
+        query = lubm_query("L4")
+        method = HashSubjectObject()
+        sampled = StatisticsCatalog.from_sample(
+            query, lubm, fraction=0.05, rng=random.Random(3)
+        )
+        result = optimize(query, statistics=sampled, partitioning=method)
+        cluster = Cluster.build(lubm, method, cluster_size=4)
+        relation, _ = Executor(cluster).execute(result.plan, query)
+        assert relation.rows == evaluate_reference(query, lubm.graph).rows

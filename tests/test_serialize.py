@@ -1,0 +1,76 @@
+"""Tests for plan serialization (JSON round-trip, DOT export)."""
+
+import json
+
+import pytest
+
+from repro.core import TopDownEnumerator
+from repro.core.optimizer import make_builder
+from repro.core.plans import plan_signature, validate_plan
+from repro.core.serialize import (
+    plan_from_dict,
+    plan_from_json,
+    plan_to_dict,
+    plan_to_dot,
+    plan_to_json,
+)
+
+
+@pytest.fixture
+def optimized(fig1_query):
+    builder = make_builder(fig1_query, seed=9)
+    result = TopDownEnumerator(builder.join_graph, builder).optimize()
+    return fig1_query, result.plan
+
+
+class TestJSONRoundTrip:
+    def test_round_trip_preserves_structure(self, optimized):
+        query, plan = optimized
+        restored = plan_from_json(plan_to_json(plan), query)
+        assert plan_signature(restored) == plan_signature(plan)
+        validate_plan(restored, plan.bits)
+
+    def test_round_trip_preserves_costs(self, optimized):
+        query, plan = optimized
+        restored = plan_from_json(plan_to_json(plan), query)
+        assert restored.cost == pytest.approx(plan.cost)
+        assert restored.cardinality == pytest.approx(plan.cardinality)
+
+    def test_round_trip_without_query_keeps_indices(self, optimized):
+        _, plan = optimized
+        restored = plan_from_json(plan_to_json(plan))
+        scans = sorted(s.pattern_index for s in restored.leaves())
+        assert scans == sorted(s.pattern_index for s in plan.leaves())
+        assert all(s.pattern is None for s in restored.leaves())
+
+    def test_json_is_valid_json(self, optimized):
+        _, plan = optimized
+        data = json.loads(plan_to_json(plan, indent=2))
+        assert data["kind"] == "join"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            plan_from_dict({"kind": "mystery"})
+
+    def test_unserializable_type_rejected(self):
+        with pytest.raises(TypeError):
+            plan_to_dict(object())  # type: ignore[arg-type]
+
+
+class TestDot:
+    def test_dot_contains_all_nodes(self, optimized):
+        _, plan = optimized
+        dot = plan_to_dot(plan, name="fig1")
+        assert dot.startswith('digraph "fig1"')
+        assert dot.rstrip().endswith("}")
+        scan_count = dot.count("shape=box")
+        assert scan_count == len(list(plan.leaves()))
+        join_count = dot.count("shape=ellipse")
+        assert join_count == len(list(plan.joins()))
+
+    def test_dot_edges_match_tree(self, optimized):
+        _, plan = optimized
+        dot = plan_to_dot(plan)
+        edge_count = dot.count("->")
+        node_count = len(list(plan.walk()))
+        assert edge_count == node_count - 1  # a tree

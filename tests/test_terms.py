@@ -1,0 +1,64 @@
+"""Unit tests for the RDF term model."""
+
+import pytest
+
+from repro.rdf.terms import BlankNode, IRI, Literal, Variable, is_concrete
+
+
+class TestIRI:
+    def test_str_renders_angle_brackets(self):
+        assert str(IRI("http://example.org/a")) == "<http://example.org/a>"
+
+    def test_equality_and_hash(self):
+        assert IRI("x") == IRI("x")
+        assert hash(IRI("x")) == hash(IRI("x"))
+        assert IRI("x") != IRI("y")
+
+    def test_ordering(self):
+        assert IRI("a") < IRI("b")
+
+    def test_not_variable(self):
+        assert not IRI("x").is_variable
+        assert is_concrete(IRI("x"))
+
+
+class TestLiteral:
+    def test_plain_literal(self):
+        assert str(Literal("hi")) == '"hi"'
+
+    def test_language_tag(self):
+        assert str(Literal("hi", language="en")) == '"hi"@en'
+
+    def test_datatype(self):
+        lit = Literal("5", datatype="http://www.w3.org/2001/XMLSchema#integer")
+        assert str(lit) == '"5"^^<http://www.w3.org/2001/XMLSchema#integer>'
+
+    def test_datatype_and_language_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype="d", language="en")
+
+    def test_escaping(self):
+        assert str(Literal('say "hi"\n')) == '"say \\"hi\\"\\n"'
+
+    def test_equality_considers_datatype(self):
+        assert Literal("5") != Literal("5", datatype="d")
+
+
+class TestBlankNode:
+    def test_str(self):
+        assert str(BlankNode("b1")) == "_:b1"
+
+    def test_not_variable(self):
+        assert not BlankNode("b").is_variable
+
+
+class TestVariable:
+    def test_str(self):
+        assert str(Variable("x")) == "?x"
+
+    def test_is_variable(self):
+        assert Variable("x").is_variable
+        assert not is_concrete(Variable("x"))
+
+    def test_distinct_from_iri(self):
+        assert Variable("x") != IRI("x")

@@ -1,0 +1,100 @@
+"""Unit tests for Triple and RDFGraph."""
+
+from repro.rdf import IRI, RDFGraph, Triple, triple
+
+
+def t(s, p, o):
+    return triple(f"http://e/{s}", f"http://e/{p}", f"http://e/{o}")
+
+
+class TestTriple:
+    def test_shorthand_constructor(self):
+        tr = triple("http://e/s", "http://e/p", '"lit"')
+        assert tr.subject == IRI("http://e/s")
+        assert tr.object.lexical == "lit"
+
+    def test_blank_node_shorthand(self):
+        tr = triple("_:b", "http://e/p", "http://e/o")
+        assert str(tr.subject) == "_:b"
+
+    def test_str_is_ntriples_line(self):
+        assert str(t("s", "p", "o")) == "<http://e/s> <http://e/p> <http://e/o> ."
+
+
+class TestRDFGraph:
+    def test_add_and_len(self):
+        g = RDFGraph()
+        assert g.add(t("a", "p", "b"))
+        assert not g.add(t("a", "p", "b"))  # duplicate
+        assert len(g) == 1
+
+    def test_contains_and_iter(self):
+        g = RDFGraph([t("a", "p", "b"), t("b", "p", "c")])
+        assert t("a", "p", "b") in g
+        assert len(list(g)) == 2
+
+    def test_discard(self):
+        g = RDFGraph([t("a", "p", "b")])
+        assert g.discard(t("a", "p", "b"))
+        assert not g.discard(t("a", "p", "b"))
+        assert len(g) == 0
+        assert list(g.match(subject=IRI("http://e/a"))) == []
+
+    def test_vertices_are_subjects_and_objects(self):
+        g = RDFGraph([t("a", "p", "b")])
+        names = {v.value for v in g.vertices}
+        assert names == {"http://e/a", "http://e/b"}
+
+    def test_predicates(self):
+        g = RDFGraph([t("a", "p", "b"), t("a", "q", "b")])
+        assert {p.value for p in g.predicates} == {"http://e/p", "http://e/q"}
+
+    def test_match_fully_bound(self):
+        g = RDFGraph([t("a", "p", "b")])
+        assert list(g.match(IRI("http://e/a"), IRI("http://e/p"), IRI("http://e/b")))
+        assert not list(
+            g.match(IRI("http://e/a"), IRI("http://e/p"), IRI("http://e/x"))
+        )
+
+    def test_match_by_each_single_position(self):
+        g = RDFGraph([t("a", "p", "b"), t("a", "q", "c"), t("x", "p", "b")])
+        assert len(list(g.match(subject=IRI("http://e/a")))) == 2
+        assert len(list(g.match(predicate=IRI("http://e/p")))) == 2
+        assert len(list(g.match(object=IRI("http://e/b")))) == 2
+
+    def test_match_pairs(self):
+        g = RDFGraph([t("a", "p", "b"), t("a", "p", "c"), t("a", "q", "b")])
+        assert len(list(g.match(IRI("http://e/a"), IRI("http://e/p"), None))) == 2
+        assert len(list(g.match(None, IRI("http://e/p"), IRI("http://e/b")))) == 1
+        assert len(list(g.match(IRI("http://e/a"), None, IRI("http://e/b")))) == 2
+
+    def test_match_all(self):
+        g = RDFGraph([t("a", "p", "b"), t("b", "p", "c")])
+        assert len(list(g.match())) == 2
+
+    def test_count(self):
+        g = RDFGraph([t("a", "p", "b"), t("b", "p", "c")])
+        assert g.count(predicate=IRI("http://e/p")) == 2
+
+    def test_out_in_edges(self):
+        g = RDFGraph([t("a", "p", "b"), t("b", "p", "c")])
+        assert len(g.out_edges(IRI("http://e/b"))) == 1
+        assert len(g.in_edges(IRI("http://e/b"))) == 1
+        assert len(g.edges(IRI("http://e/b"))) == 2
+
+    def test_edges_deduplicates_self_loop(self):
+        g = RDFGraph([t("a", "p", "a")])
+        assert len(g.edges(IRI("http://e/a"))) == 1
+
+    def test_neighbors(self):
+        g = RDFGraph([t("a", "p", "b"), t("c", "p", "a")])
+        assert {v.value for v in g.neighbors(IRI("http://e/a"))} == {
+            "http://e/b",
+            "http://e/c",
+        }
+
+    def test_copy_is_independent(self):
+        g = RDFGraph([t("a", "p", "b")])
+        h = g.copy()
+        h.add(t("x", "p", "y"))
+        assert len(g) == 1 and len(h) == 2

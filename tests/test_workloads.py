@@ -1,0 +1,151 @@
+"""Tests for the workload generators (LUBM-like, UniProt-like, random, WatDiv)."""
+
+import random
+
+import pytest
+
+from repro.core import JoinGraph, QueryShape
+from repro.engine import evaluate_reference
+from repro.workloads import (
+    WatDivGenerator,
+    chain_query,
+    cycle_query,
+    dense_query,
+    generate_lubm,
+    generate_uniprot,
+    generate_workload,
+    instantiate,
+    lubm_queries,
+    star_query,
+    tree_query,
+    uniprot_queries,
+    watdiv_workload,
+)
+from repro.workloads.lubm import QUERY_SHAPES as LUBM_SHAPES
+from repro.workloads.uniprot import QUERY_SHAPES as UNIPROT_SHAPES
+
+
+@pytest.fixture(scope="module")
+def lubm_dataset():
+    return generate_lubm()
+
+
+@pytest.fixture(scope="module")
+def uniprot_dataset():
+    return generate_uniprot()
+
+
+class TestLUBM:
+    def test_deterministic(self):
+        a = generate_lubm(seed=1)
+        b = generate_lubm(seed=1)
+        assert a.triple_count == b.triple_count
+        assert set(a.graph) == set(b.graph)
+
+    def test_reasonable_size(self, lubm_dataset):
+        assert lubm_dataset.triple_count > 5000
+
+    def test_all_queries_nonempty(self, lubm_dataset):
+        for name, query in lubm_queries().items():
+            rows = len(evaluate_reference(query, lubm_dataset.graph))
+            assert rows > 0, f"{name} returned no rows"
+
+    def test_table3_shapes(self):
+        """Query shapes must match the paper's Table III."""
+        for name, query in lubm_queries().items():
+            assert JoinGraph(query).shape().value == LUBM_SHAPES[name], name
+
+    def test_unknown_query_rejected(self):
+        from repro.workloads.lubm import lubm_query
+
+        with pytest.raises(KeyError):
+            lubm_query("L99")
+
+
+class TestUniProt:
+    def test_all_queries_nonempty(self, uniprot_dataset):
+        for name, query in uniprot_queries().items():
+            rows = len(evaluate_reference(query, uniprot_dataset.graph))
+            assert rows > 0, f"{name} returned no rows"
+
+    def test_table3_shapes(self):
+        for name, query in uniprot_queries().items():
+            assert JoinGraph(query).shape().value == UNIPROT_SHAPES[name], name
+
+    def test_minimum_protein_guard(self):
+        from repro.workloads.uniprot import UniProtGenerator
+
+        with pytest.raises(ValueError):
+            UniProtGenerator(proteins=5)
+
+
+class TestRandomGenerator:
+    def test_shapes_as_requested(self):
+        assert JoinGraph(chain_query(10)).shape() is QueryShape.CHAIN
+        assert JoinGraph(cycle_query(10)).shape() is QueryShape.CYCLE
+        assert JoinGraph(star_query(10)).shape() is QueryShape.STAR
+        assert JoinGraph(dense_query(10, random.Random(0))).shape() is QueryShape.DENSE
+
+    def test_sizes_exact(self):
+        for n in (4, 9, 17):
+            assert len(chain_query(n)) == n
+            assert len(cycle_query(n)) == n
+            assert len(star_query(n)) == n
+            assert len(tree_query(n, random.Random(n))) == n
+            assert len(dense_query(n, random.Random(n))) == n
+
+    def test_minimum_sizes_enforced(self):
+        with pytest.raises(ValueError):
+            chain_query(1)
+        with pytest.raises(ValueError):
+            cycle_query(2)
+        with pytest.raises(ValueError):
+            dense_query(3)
+
+    def test_workload_reproducible(self):
+        a = list(generate_workload(sizes=range(2, 6), statistics_draws=2, seed=1))
+        b = list(generate_workload(sizes=range(2, 6), statistics_draws=2, seed=1))
+        assert len(a) == len(b)
+        for wa, wb in zip(a, b):
+            assert wa.query.name == wb.query.name
+            assert [s.cardinality for s in wa.statistics.per_pattern] == [
+                s.cardinality for s in wb.statistics.per_pattern
+            ]
+
+    def test_workload_statistics_in_range(self):
+        for w in generate_workload(sizes=[5], statistics_draws=1, seed=3):
+            for stats in w.statistics.per_pattern:
+                assert 1 <= stats.cardinality <= 1000
+                for b in stats.bindings.values():
+                    assert 1 <= b <= stats.cardinality
+
+    def test_workload_queries_connected(self):
+        for w in generate_workload(sizes=[2, 7, 13], statistics_draws=1):
+            jg = JoinGraph(w.query)
+            assert jg.is_connected(jg.full), w.query.name
+
+
+class TestWatDiv:
+    def test_template_count(self):
+        templates = WatDivGenerator(seed=5).templates(40)
+        assert len(templates) == 40
+
+    def test_templates_are_connected(self):
+        for template in WatDivGenerator(seed=5).templates(40):
+            jg = JoinGraph(template.query)
+            assert jg.is_connected(jg.full), template.query.name
+
+    def test_instances_keep_structure(self):
+        rng = random.Random(0)
+        template = WatDivGenerator(seed=5).templates(10)[3]
+        q1, s1 = instantiate(template, 0, rng)
+        q2, s2 = instantiate(template, 1, rng)
+        assert len(q1) == len(q2) == len(template.query)
+        jg = JoinGraph(q1)
+        assert jg.is_connected(jg.full)
+
+    def test_workload_iterator(self):
+        items = list(watdiv_workload(templates=5, instances_per_template=3))
+        assert len(items) == 15
+        for template, query, statistics in items:
+            assert len(statistics.per_pattern) == len(query)
