@@ -17,7 +17,7 @@ from repro.core.optimizer import make_builder
 from repro.engine.mapreduce import (
     MapReduceSimulator,
     compile_stages,
-    overhead_crossover,
+    overhead_crossover_analysis,
 )
 from repro.experiments.tables import render_table, write_report
 from repro.partitioning import HashSubjectObject
@@ -60,7 +60,7 @@ def test_flat_vs_bushy_report(benchmark):
             builder, flat, bushy = _plans(label)
             flat_schedule = compile_stages(flat)
             bushy_schedule = compile_stages(bushy)
-            crossover = overhead_crossover(flat, bushy, builder.parameters)
+            analysis = overhead_crossover_analysis(flat, bushy, builder.parameters)
             zero = MapReduceSimulator(builder.parameters, 0.0)
             rows.append(
                 [
@@ -69,7 +69,7 @@ def test_flat_vs_bushy_report(benchmark):
                     str(flat_schedule.wave_count),
                     f"{zero.makespan(bushy_schedule):.1f}",
                     f"{zero.makespan(flat_schedule):.1f}",
-                    "never flatter" if crossover is None else f"{crossover:.1f}",
+                    analysis.describe(),
                 ]
             )
         return render_table(

@@ -87,6 +87,18 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_setup(args: argparse.Namespace):
+    """Build (injector, policy) from the run subcommand's fault flags."""
+    from .engine import DEFAULT_RETRY_POLICY, FaultInjector, RetryPolicy
+
+    policy = DEFAULT_RETRY_POLICY
+    if args.max_retries is not None:
+        policy = RetryPolicy(max_retries=args.max_retries)
+    if args.fault_rate <= 0:
+        return None, policy
+    return FaultInjector(args.fault_rate, seed=args.fault_seed), policy
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     query = _load_query(args.query)
     dataset = _load_dataset(args.data)
@@ -101,15 +113,21 @@ def cmd_run(args: argparse.Namespace) -> int:
         timeout_seconds=args.timeout,
     )
     cluster = Cluster.build(dataset, method, cluster_size=args.workers)
+    injector, policy = _fault_setup(args)
     if args.explain:
         from .engine import explain
 
-        relation, report = explain(result.plan, cluster, query)
+        relation, report = explain(
+            result.plan, cluster, query, fault_injector=injector, retry_policy=policy
+        )
         print(report.render(), file=sys.stderr)
     else:
-        relation, metrics = Executor(cluster).execute(result.plan, query)
+        executor = Executor(cluster, fault_injector=injector, retry_policy=policy)
+        relation, metrics = executor.execute(result.plan, query)
         for key, value in metrics.summary().items():
             print(f"# {key}: {value}", file=sys.stderr)
+        if metrics.fault_injection_enabled and cluster.failed_workers:
+            print(f"# failed_workers: {cluster.failed_workers}", file=sys.stderr)
     variables = list(relation.variables)
     print("\t".join(str(v) for v in variables))
     for row in sorted(relation.rows, key=str)[: args.limit]:
@@ -186,6 +204,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain",
         action="store_true",
         help="print estimated-vs-measured per operator",
+    )
+    p_run.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="per-operator-attempt fault probability (0 disables injection)",
+    )
+    p_run.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic fault injector",
+    )
+    p_run.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retry budget per operator before the run aborts (default 3)",
     )
     p_run.set_defaults(func=cmd_run)
 

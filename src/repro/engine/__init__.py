@@ -3,14 +3,32 @@
 from .cluster import Cluster
 from .executor import ExecutionError, Executor, evaluate_reference
 from .explain import ExplainReport, OperatorExplain, explain
+from .faults import (
+    FailStop,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultModel,
+    Straggler,
+    Transient,
+    default_models,
+)
 from .mapreduce import (
+    CrossoverAnalysis,
     MapReduceSchedule,
     MapReduceSimulator,
     Stage,
     compile_stages,
     overhead_crossover,
+    overhead_crossover_analysis,
 )
 from .metrics import ExecutionMetrics, OperatorMetrics
+from .recovery import (
+    DEFAULT_RETRY_POLICY,
+    FaultToleranceError,
+    RecoveryManager,
+    RetryPolicy,
+)
 from .relations import Relation, hash_join, multi_join, scan_pattern
 
 __all__ = [
@@ -23,11 +41,25 @@ __all__ = [
     "Stage",
     "compile_stages",
     "overhead_crossover",
+    "overhead_crossover_analysis",
+    "CrossoverAnalysis",
     "Executor",
     "ExecutionError",
     "evaluate_reference",
     "ExecutionMetrics",
     "OperatorMetrics",
+    "FaultInjector",
+    "FaultEvent",
+    "FaultKind",
+    "FaultModel",
+    "FailStop",
+    "Transient",
+    "Straggler",
+    "default_models",
+    "RetryPolicy",
+    "RecoveryManager",
+    "FaultToleranceError",
+    "DEFAULT_RETRY_POLICY",
     "Relation",
     "scan_pattern",
     "hash_join",

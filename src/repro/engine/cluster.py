@@ -4,11 +4,20 @@ Plays the role of the paper's 10-node RDF-3X + Hadoop testbed.  A
 :class:`Cluster` owns one :class:`~repro.rdf.triples.RDFGraph` per
 worker (produced by a partitioning method) plus the term-hash routing
 used by repartition joins.
+
+The cluster is *fault-aware*: workers can be marked dead
+(:meth:`fail_worker`), in which case their partition is re-routed to
+the next live worker from the durable replica the partitioning retains
+(``partitioning.node_graphs`` is never mutated — it is the HDFS-replica
+stand-in), repartition routing skips dead workers, and scans read the
+degraded layout through :meth:`worker_graphs`.  A fully healthy cluster
+behaves exactly as before faults existed — the healthy paths return the
+original structures untouched.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Set, Tuple
 
 from ..partitioning.base import Partitioning, PartitioningMethod, hash_term
 from ..rdf.dataset import Dataset
@@ -22,26 +31,112 @@ class Cluster:
     def __init__(self, partitioning: Partitioning) -> None:
         self.partitioning = partitioning
         self.workers: List[RDFGraph] = partitioning.node_graphs
+        if not self.workers:
+            raise ValueError(
+                "a cluster needs at least one worker; the partitioning "
+                f"{partitioning.method_name!r} produced no node graphs"
+            )
+        self._dead: Set[int] = set()
+        #: degraded-mode graph overrides: dead workers -> empty graph,
+        #: re-route targets -> their graph merged with the lost partition
+        self._override: Dict[int, RDFGraph] = {}
 
     @classmethod
     def build(
         cls, dataset: Dataset, method: PartitioningMethod, cluster_size: int = 10
     ) -> "Cluster":
         """Partition *dataset* with *method* across *cluster_size* workers."""
+        if cluster_size < 1:
+            raise ValueError(f"cluster_size must be >= 1, got {cluster_size}")
         return cls(method.partition(dataset, cluster_size))
 
     @property
     def size(self) -> int:
-        """Number of workers."""
+        """Number of worker slots (dead workers keep their slot)."""
         return len(self.workers)
 
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    @property
+    def live_size(self) -> int:
+        """Number of workers still alive."""
+        return self.size - len(self._dead)
+
+    @property
+    def live_workers(self) -> List[int]:
+        """Indexes of the workers still alive, ascending."""
+        return [i for i in range(self.size) if i not in self._dead]
+
+    @property
+    def failed_workers(self) -> List[int]:
+        """Indexes of the workers that have crashed, ascending."""
+        return sorted(self._dead)
+
+    def is_live(self, worker: int) -> bool:
+        """Whether *worker* is still alive."""
+        return worker not in self._dead
+
+    def worker_graph(self, worker: int) -> RDFGraph:
+        """The graph *worker* currently serves (empty once it is dead)."""
+        return self._override.get(worker, self.workers[worker])
+
+    def worker_graphs(self) -> List[RDFGraph]:
+        """Per-slot effective graphs; the original list while healthy."""
+        if not self._dead:
+            return self.workers
+        return [self.worker_graph(i) for i in range(self.size)]
+
+    def fail_worker(self, worker: int) -> Tuple[int, int]:
+        """Crash *worker* and re-route its partition in degraded mode.
+
+        The lost partition (recovered from the durable replica — the
+        partitioning's untouched node graph, plus anything a previous
+        re-route already merged into this worker) is merged into the
+        next live worker's graph.  Returns ``(target, triples_moved)``
+        so the caller can price the replica re-scan.
+        """
+        if not 0 <= worker < self.size:
+            raise ValueError(f"no such worker {worker} (cluster size {self.size})")
+        if worker in self._dead:
+            raise ValueError(f"worker {worker} is already dead")
+        if self.live_size <= 1:
+            raise ValueError("cannot fail the last live worker")
+        lost_graph = self.worker_graph(worker)
+        self._dead.add(worker)
+        live = self.live_workers
+        target = next((i for i in live if i > worker), live[0])
+        merged = RDFGraph(self.worker_graph(target))
+        merged.add_all(lost_graph)
+        self._override[worker] = RDFGraph()
+        self._override[target] = merged
+        return target, len(lost_graph)
+
+    def heal(self) -> None:
+        """Resurrect every worker and restore the original layout."""
+        self._dead.clear()
+        self._override.clear()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
     def route(self, term: Term) -> int:
-        """The worker a term hashes to (repartition-join routing)."""
-        return hash_term(term, self.size)
+        """The worker a term hashes to (repartition-join routing).
+
+        Dead workers are skipped deterministically: the original target
+        slot is folded onto the list of live workers, so routing stays
+        a pure function of (term, liveness state).
+        """
+        target = hash_term(term, self.size)
+        if target in self._dead:
+            live = self.live_workers
+            target = live[target % len(live)]
+        return target
 
     def __repr__(self) -> str:
-        sizes = [len(g) for g in self.workers]
+        sizes = [len(g) for g in self.worker_graphs()]
+        dead = f", dead={self.failed_workers}" if self._dead else ""
         return (
             f"Cluster({self.size} workers, method={self.partitioning.method_name}, "
-            f"loads={sizes})"
+            f"loads={sizes}{dead})"
         )

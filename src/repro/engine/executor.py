@@ -15,6 +15,14 @@ The executor records actual tuple movement per operator and prices the
 plan's critical path with the paper's cost model (Eq. 3 over measured
 counts), which is the "query processing time" the Table V reproduction
 reports alongside wall-clock time.
+
+Execution is optionally *fault-tolerant*: given a
+:class:`~repro.engine.faults.FaultInjector`, every operator attempt
+passes an operator boundary where a seeded fault may fire, and a
+:class:`~repro.engine.recovery.RecoveryManager` retries, re-routes
+crashed workers' partitions, and prices the recovery overhead into the
+critical path.  Without an injector (or with ``fault_rate=0``) the
+executor takes exactly the historical zero-overhead path.
 """
 
 from __future__ import annotations
@@ -28,7 +36,9 @@ from ..rdf.terms import Variable
 from ..rdf.triples import RDFGraph
 from ..sparql.ast import BGPQuery
 from .cluster import Cluster
+from .faults import FaultInjector
 from .metrics import ExecutionMetrics, OperatorMetrics
+from .recovery import DEFAULT_RETRY_POLICY, RecoveryManager, RetryPolicy
 from .relations import Relation, multi_join, scan_pattern
 
 DistributedRelation = List[Relation]
@@ -39,13 +49,28 @@ class ExecutionError(RuntimeError):
 
 
 class Executor:
-    """Executes plans against a :class:`Cluster`."""
+    """Executes plans against a :class:`Cluster`.
+
+    With a fault injector, a cluster that loses workers stays degraded
+    after :meth:`execute` returns (as a real cluster would); call
+    :meth:`Cluster.heal` or build a fresh cluster to restore it.
+    """
 
     def __init__(
-        self, cluster: Cluster, parameters: CostParameters = PAPER_PARAMETERS
+        self,
+        cluster: Cluster,
+        parameters: CostParameters = PAPER_PARAMETERS,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
     ) -> None:
         self.cluster = cluster
         self.parameters = parameters
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy
+        self._recovery: Optional[RecoveryManager] = None
+        #: distributed relations computed but not yet consumed; a
+        #: fail-stop migrates the dead worker's slice in each of them
+        self._inflight: List[DistributedRelation] = []
 
     # ------------------------------------------------------------------
     # public API
@@ -59,6 +84,15 @@ class Executor:
         is projected onto it.
         """
         metrics = ExecutionMetrics()
+        if self.fault_injector is not None and self.fault_injector.active:
+            self.fault_injector.reset()  # replay from the seed every run
+            self._recovery = RecoveryManager(
+                self.cluster, self.fault_injector, self.retry_policy, self.parameters
+            )
+            metrics.fault_injection_enabled = True
+        else:
+            self._recovery = None
+        self._inflight = []
         started = time.perf_counter()
         distributed, critical = self._execute(plan, metrics)
         result = self._collect(distributed)
@@ -67,6 +101,9 @@ class Executor:
         metrics.wall_seconds = time.perf_counter() - started
         metrics.result_rows = len(result)
         metrics.critical_path_cost = critical
+        if self._recovery is not None:
+            metrics.workers_failed = self._recovery.workers_failed
+        self._inflight = []
         return result, metrics
 
     # ------------------------------------------------------------------
@@ -87,18 +124,31 @@ class Executor:
         if node.pattern is None:
             raise ExecutionError("scan node carries no pattern")
         started = time.perf_counter()
-        relations = [scan_pattern(graph, node.pattern) for graph in self.cluster.workers]
-        produced = sum(len(r) for r in relations)
-        metrics.operators.append(
-            OperatorMetrics(
+
+        def run_once() -> Tuple[DistributedRelation, OperatorMetrics]:
+            relations = [
+                scan_pattern(graph, node.pattern)
+                for graph in self.cluster.worker_graphs()
+            ]
+            produced = sum(len(r) for r in relations)
+            op = OperatorMetrics(
                 operator=f"scan[{node.pattern_index}]",
                 algorithm="scan",
                 tuples_read=produced,
                 tuples_produced=produced,
-                wall_seconds=time.perf_counter() - started,
             )
-        )
-        return relations, 0.0
+            return relations, op
+
+        if self._recovery is None:
+            relations, op = run_once()
+        else:
+            relations, op = self._recovery.run_operator(
+                f"scan[{node.pattern_index}]", run_once, self._inflight
+            )
+            self._inflight.append(relations)
+        op.wall_seconds = time.perf_counter() - started
+        metrics.operators.append(op)
+        return relations, op.recovery_cost
 
     def _execute_join(
         self, node: JoinNode, metrics: ExecutionMetrics
@@ -110,15 +160,26 @@ class Executor:
             children.append(relation)
             child_critical = max(child_critical, critical)
         started = time.perf_counter()
-        if node.algorithm is JoinAlgorithm.LOCAL:
-            result, op = self._local_join(node, children)
-        elif node.algorithm is JoinAlgorithm.BROADCAST:
-            result, op = self._broadcast_join(node, children)
+
+        def run_once() -> Tuple[DistributedRelation, OperatorMetrics]:
+            if node.algorithm is JoinAlgorithm.LOCAL:
+                return self._local_join(node, children)
+            if node.algorithm is JoinAlgorithm.BROADCAST:
+                return self._broadcast_join(node, children)
+            return self._repartition_join(node, children)
+
+        if self._recovery is None:
+            result, op = run_once()
         else:
-            result, op = self._repartition_join(node, children)
+            result, op = self._recovery.run_operator(
+                self._label(node), run_once, self._inflight
+            )
+            for child in children:
+                self._discard_inflight(child)
+            self._inflight.append(result)
         op.wall_seconds = time.perf_counter() - started
         metrics.operators.append(op)
-        return result, child_critical + op.simulated_cost(self.parameters)
+        return result, child_critical + op.total_cost(self.parameters)
 
     # -- local ----------------------------------------------------------
     def _local_join(
@@ -150,7 +211,7 @@ class Executor:
             if i == largest:
                 continue
             collected = self._collect(child)
-            shipped += len(collected) * self.cluster.size
+            shipped += len(collected) * self.cluster.live_size
             broadcast.append(collected)
         result: DistributedRelation = []
         for worker in range(self.cluster.size):
@@ -203,10 +264,21 @@ class Executor:
     # ------------------------------------------------------------------
     def _collect(self, distributed: DistributedRelation) -> Relation:
         """Union a distributed relation on one node (deduplicating)."""
+        if not distributed:
+            raise ExecutionError(
+                "cannot collect a distributed relation with no workers"
+            )
         merged = Relation(distributed[0].variables)
         for relation in distributed:
             merged.union_inplace(relation)
         return merged
+
+    def _discard_inflight(self, distributed: DistributedRelation) -> None:
+        """Drop a consumed distributed relation from the in-flight registry."""
+        for index, candidate in enumerate(self._inflight):
+            if candidate is distributed:
+                del self._inflight[index]
+                return
 
     @staticmethod
     def _common_variable(children: Sequence[DistributedRelation]) -> Variable:

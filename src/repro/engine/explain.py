@@ -11,7 +11,7 @@ operator — the standard way to audit a cardinality estimator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, TYPE_CHECKING
 
 from ..core.cost import CostParameters, PAPER_PARAMETERS
 from ..core.plans import JoinNode, PlanNode
@@ -19,6 +19,10 @@ from ..sparql.ast import BGPQuery
 from .cluster import Cluster
 from .executor import Executor
 from .relations import Relation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .faults import FaultInjector
+    from .recovery import RetryPolicy
 
 
 @dataclass
@@ -80,14 +84,25 @@ def explain(
     cluster: Cluster,
     query: Optional[BGPQuery] = None,
     parameters: CostParameters = PAPER_PARAMETERS,
+    fault_injector: Optional["FaultInjector"] = None,
+    retry_policy: Optional["RetryPolicy"] = None,
 ) -> Tuple[Relation, ExplainReport]:
     """Execute *plan* and build the estimated-vs-measured report.
 
     Join operators are aligned with execution metrics by post-order
     position (the executor appends one metrics record per operator in
-    evaluation order, which is exactly a post-order walk).
+    evaluation order, which is exactly a post-order walk; retried
+    operators still produce a single record, so fault injection keeps
+    the alignment).
     """
-    executor = Executor(cluster, parameters)
+    from .recovery import DEFAULT_RETRY_POLICY
+
+    executor = Executor(
+        cluster,
+        parameters,
+        fault_injector=fault_injector,
+        retry_policy=retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY,
+    )
     relation, metrics = executor.execute(plan, query)
     joins_postorder = _joins_postorder(plan)
     join_metrics = [op for op in metrics.operators if op.algorithm != "scan"]

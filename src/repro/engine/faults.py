@@ -1,0 +1,199 @@
+"""Deterministic fault injection for the simulated cluster.
+
+The paper's prototype runs bushy plans as waves of Hadoop jobs, and
+Hadoop's defining operational property is surviving worker failure
+mid-job.  This module supplies the *injection* half of that story: a
+seeded :class:`FaultInjector` that decides, at every operator boundary
+(one attempt of one operator plays the role of one MapReduce task
+wave), whether a fault fires, of which kind, and on which worker.
+Recovery — bounded retries, backoff pricing, and stage-level
+re-execution — lives in :mod:`repro.engine.recovery`.
+
+Three pluggable fault models mirror the failure taxonomy of the
+MapReduce literature:
+
+* **fail-stop** (:class:`FailStop`) — a worker crashes and stays dead;
+  its partition must be re-routed to survivors (degraded mode) from the
+  durable replica the partitioning retains;
+* **transient** (:class:`Transient`) — one operator attempt fails on
+  one worker (lost task output, spurious I/O error); a retry of the
+  same attempt succeeds;
+* **straggler** (:class:`Straggler`) — nothing fails, but one worker
+  runs the operator ``slowdown``× slower, stretching the stage barrier.
+
+Everything is deterministic: the injector owns a ``random.Random``
+seeded at construction, the executor replays it from the seed at the
+start of every ``execute()``, and fault sites are drawn in plan
+post-order — so a (seed, plan, dataset) triple always yields the same
+fault sequence.  That determinism is what makes failure overhead
+measurable per plan shape and the recovery path property-testable.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import enum
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+class FaultKind(enum.Enum):
+    """The three failure classes the injector can produce."""
+
+    FAIL_STOP = "fail-stop"
+    TRANSIENT = "transient"
+    STRAGGLER = "straggler"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault: what happened, to whom, and where in the plan."""
+
+    kind: FaultKind
+    worker: int
+    slowdown: float = 1.0
+    operator: str = ""
+    attempt: int = 0
+
+    def __str__(self) -> str:
+        extra = f" ×{self.slowdown:.1f}" if self.kind is FaultKind.STRAGGLER else ""
+        return (
+            f"{self.kind.value}@worker{self.worker}{extra} "
+            f"({self.operator}, attempt {self.attempt})"
+        )
+
+
+class FaultModel(abc.ABC):
+    """A pluggable generator of one fault class."""
+
+    #: short identifier used in reports and CLI output
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def draw(self, rng: random.Random, live_workers: Sequence[int]) -> FaultEvent:
+        """Draw one fault against the currently live workers."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FailStop(FaultModel):
+    """A worker crashes permanently (Hadoop task-tracker death)."""
+
+    name = "fail-stop"
+
+    def draw(self, rng: random.Random, live_workers: Sequence[int]) -> FaultEvent:
+        return FaultEvent(FaultKind.FAIL_STOP, worker=rng.choice(list(live_workers)))
+
+
+class Transient(FaultModel):
+    """One operator attempt fails on one worker; the retry succeeds."""
+
+    name = "transient"
+
+    def draw(self, rng: random.Random, live_workers: Sequence[int]) -> FaultEvent:
+        return FaultEvent(FaultKind.TRANSIENT, worker=rng.choice(list(live_workers)))
+
+
+class Straggler(FaultModel):
+    """One worker runs the operator ``slowdown``× slower than its peers."""
+
+    name = "straggler"
+
+    def __init__(self, min_slowdown: float = 2.0, max_slowdown: float = 8.0) -> None:
+        if min_slowdown < 1.0 or max_slowdown < min_slowdown:
+            raise ValueError(
+                "straggler slowdowns need 1 <= min_slowdown <= max_slowdown, "
+                f"got [{min_slowdown}, {max_slowdown}]"
+            )
+        self.min_slowdown = min_slowdown
+        self.max_slowdown = max_slowdown
+
+    def draw(self, rng: random.Random, live_workers: Sequence[int]) -> FaultEvent:
+        return FaultEvent(
+            FaultKind.STRAGGLER,
+            worker=rng.choice(list(live_workers)),
+            slowdown=rng.uniform(self.min_slowdown, self.max_slowdown),
+        )
+
+    def __repr__(self) -> str:
+        return f"Straggler({self.min_slowdown}, {self.max_slowdown})"
+
+
+def default_models() -> Tuple[FaultModel, ...]:
+    """The standard equally-weighted model mix (fail-stop, transient, straggler)."""
+    return (FailStop(), Transient(), Straggler())
+
+
+class FaultInjector:
+    """Seeded, deterministic fault source fired at operator boundaries.
+
+    ``fault_rate`` is the per-operator-attempt probability that *some*
+    fault fires; which model produces it is a second (weighted) draw.
+    A fail-stop drawn when only one worker is still alive is downgraded
+    to a transient fault — killing the last replica holder would lose
+    data, which is exactly the scenario a real cluster's minimum
+    replication factor exists to prevent.
+
+    The injector records every event it produces in :attr:`events`;
+    :meth:`reset` rewinds it to the seed (the executor does this at the
+    start of every ``execute()`` so repeated runs are identical).
+    """
+
+    def __init__(
+        self,
+        fault_rate: float,
+        seed: int = 0,
+        models: Optional[Sequence[FaultModel]] = None,
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ValueError(f"fault_rate must be in [0, 1], got {fault_rate}")
+        self.fault_rate = fault_rate
+        self.seed = seed
+        self.models: Tuple[FaultModel, ...] = tuple(
+            models if models is not None else default_models()
+        )
+        if weights is not None and len(weights) != len(self.models):
+            raise ValueError(f"{len(weights)} weights for {len(self.models)} models")
+        self.weights: Optional[Tuple[float, ...]] = (
+            tuple(weights) if weights is not None else None
+        )
+        self.events: List[FaultEvent] = []
+        self._rng = random.Random(seed)
+
+    @property
+    def active(self) -> bool:
+        """Whether this injector can produce faults at all."""
+        return self.fault_rate > 0.0 and bool(self.models)
+
+    def reset(self) -> None:
+        """Rewind to the seed; the next draw sequence repeats exactly."""
+        self._rng = random.Random(self.seed)
+        self.events = []
+
+    def draw(
+        self, operator: str, attempt: int, live_workers: Sequence[int]
+    ) -> Optional[FaultEvent]:
+        """One boundary decision: None (no fault) or a recorded event."""
+        if not self.active or not live_workers:
+            return None
+        if self._rng.random() >= self.fault_rate:
+            return None
+        model = self._rng.choices(self.models, weights=self.weights, k=1)[0]
+        event = model.draw(self._rng, live_workers)
+        if event.kind is FaultKind.FAIL_STOP and len(live_workers) <= 1:
+            # never kill the last replica holder; degrade to transient
+            event = FaultEvent(FaultKind.TRANSIENT, worker=event.worker)
+        event = dataclasses.replace(event, operator=operator, attempt=attempt)
+        self.events.append(event)
+        return event
+
+    def __repr__(self) -> str:
+        names = ",".join(m.name for m in self.models)
+        return (
+            f"FaultInjector(rate={self.fault_rate}, seed={self.seed}, "
+            f"models=[{names}], events={len(self.events)})"
+        )

@@ -28,6 +28,7 @@ from typing import List, Optional, Tuple
 
 from ..core.cost import CostParameters, PAPER_PARAMETERS
 from ..core.plans import JoinAlgorithm, JoinNode, PlanNode, ScanNode
+from .recovery import DEFAULT_RETRY_POLICY, RetryPolicy
 
 
 @dataclass
@@ -110,28 +111,56 @@ def compile_stages(plan: PlanNode) -> MapReduceSchedule:
 
 
 class MapReduceSimulator:
-    """Price a schedule with per-job startup overhead.
+    """Price a schedule with per-job startup overhead and fault cost.
 
-    ``makespan`` = Σ over waves of (startup + max data cost in the
-    wave): jobs inside a wave run concurrently, waves are sequential —
-    a faithful reduction of how Hadoop executes a bushy plan's levels.
+    ``makespan`` = Σ over waves of (startup + max *expected* job cost
+    in the wave): jobs inside a wave run concurrently, waves are
+    sequential — a faithful reduction of how Hadoop executes a bushy
+    plan's levels.
+
+    With ``fault_rate > 0`` each job's cost is inflated analytically:
+    every attempt fails independently with probability ``fault_rate``
+    and is retried under *retry_policy*, so the expected job cost is
+    ``data_cost × E[attempts] + E[backoff]`` (both truncated at the
+    policy's retry budget).  This is the closed-form counterpart of the
+    executor's injected-fault measurements: deeper plans pay the fault
+    tax once per wave on the critical path, which is the shape-vs-
+    robustness trade-off `bench_fault_tolerance` sweeps.
     """
 
     def __init__(
         self,
         parameters: CostParameters = PAPER_PARAMETERS,
         job_startup_cost: float = 0.0,
+        fault_rate: float = 0.0,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
     ) -> None:
+        if not 0.0 <= fault_rate < 1.0:
+            raise ValueError(
+                f"fault_rate must be in [0, 1) for expected-cost pricing, "
+                f"got {fault_rate}"
+            )
         self.parameters = parameters
         self.job_startup_cost = job_startup_cost
+        self.fault_rate = fault_rate
+        self.retry_policy = retry_policy
+
+    def expected_job_cost(self, stage: Stage) -> float:
+        """One job's data cost inflated by expected retries and backoff."""
+        base = stage.data_cost(self.parameters)
+        if self.fault_rate <= 0.0:
+            return base
+        return base * self.retry_policy.expected_attempts(
+            self.fault_rate
+        ) + self.retry_policy.expected_backoff(self.fault_rate)
 
     def makespan(self, schedule: MapReduceSchedule) -> float:
-        """Σ over waves of (startup + max data cost in the wave)."""
+        """Σ over waves of (startup + max expected job cost in the wave)."""
         total = 0.0
         for wave in range(schedule.wave_count):
             jobs = schedule.jobs_in_wave(wave)
             total += self.job_startup_cost + max(
-                job.data_cost(self.parameters) for job in jobs
+                self.expected_job_cost(job) for job in jobs
             )
         return total
 
@@ -141,6 +170,91 @@ class MapReduceSimulator:
         return schedule, self.makespan(schedule)
 
 
+@dataclass(frozen=True)
+class CrossoverAnalysis:
+    """Which plan wins as the per-job startup overhead ``o`` grows.
+
+    Compares ``flat_data + o·flat_waves`` against
+    ``bushy_data + o·bushy_waves`` over ``o ≥ 0``:
+
+    * ``flat_always_wins`` — flat's makespan never exceeds bushy's;
+    * ``flat_never_wins`` — flat never strictly beats bushy;
+    * otherwise ``crossover`` is the overhead where the winner flips —
+      flat wins *above* it when it is the flatter plan
+      (``wave_difference > 0``) and *below* it when it is the deeper
+      plan.
+
+    This replaces the old scalar API's conflation of "flat never wins"
+    with "flat always wins" (both returned ``None``).
+    """
+
+    flat_data: float
+    bushy_data: float
+    flat_waves: int
+    bushy_waves: int
+    crossover: Optional[float]
+    flat_always_wins: bool
+    flat_never_wins: bool
+
+    @property
+    def wave_difference(self) -> int:
+        """``bushy_waves − flat_waves`` (> 0 when flat is flatter)."""
+        return self.bushy_waves - self.flat_waves
+
+    def describe(self) -> str:
+        """A one-cell human-readable verdict for reports."""
+        if self.flat_always_wins:
+            return "flat always wins"
+        if self.flat_never_wins:
+            return "flat never wins"
+        side = "above" if self.wave_difference > 0 else "below"
+        return f"flat wins {side} o={self.crossover:.1f}"
+
+
+def overhead_crossover_analysis(
+    flat_plan: PlanNode,
+    bushy_plan: PlanNode,
+    parameters: CostParameters = PAPER_PARAMETERS,
+) -> CrossoverAnalysis:
+    """Full win/lose analysis of *flat_plan* vs *bushy_plan* over ``o ≥ 0``."""
+    flat = compile_stages(flat_plan)
+    bushy = compile_stages(bushy_plan)
+    simulator = MapReduceSimulator(parameters, job_startup_cost=0.0)
+    flat_data = simulator.makespan(flat) if flat.stages else 0.0
+    bushy_data = simulator.makespan(bushy) if bushy.stages else 0.0
+    wave_difference = bushy.wave_count - flat.wave_count
+    crossover: Optional[float] = None
+    if wave_difference == 0:
+        # parallel makespan lines: the data costs decide at every o
+        always = flat_data < bushy_data
+        never = not always
+    elif wave_difference > 0:
+        # flat is flatter: it wins at large o, so it either always wins
+        # or starts winning at the intersection point
+        point = (flat_data - bushy_data) / wave_difference
+        if point <= 0.0:
+            always, never = True, False
+        else:
+            always, never, crossover = False, False, point
+    else:
+        # flat is the *deeper* plan: overhead only hurts it, so it wins
+        # at most on a bounded prefix of o values
+        if flat_data >= bushy_data:
+            always, never = False, True
+        else:
+            always, never = False, False
+            crossover = (flat_data - bushy_data) / wave_difference
+    return CrossoverAnalysis(
+        flat_data=flat_data,
+        bushy_data=bushy_data,
+        flat_waves=flat.wave_count,
+        bushy_waves=bushy.wave_count,
+        crossover=crossover,
+        flat_always_wins=always,
+        flat_never_wins=never,
+    )
+
+
 def overhead_crossover(
     flat_plan: PlanNode,
     bushy_plan: PlanNode,
@@ -148,17 +262,17 @@ def overhead_crossover(
 ) -> Optional[float]:
     """The job-startup cost at which *flat_plan* starts beating *bushy_plan*.
 
-    Solves ``flat_data + o·flat_waves = bushy_data + o·bushy_waves`` for
-    the overhead ``o``; returns None when the flat plan never wins (or
-    always wins).
+    Backwards-compatible scalar view of
+    :func:`overhead_crossover_analysis`: returns ``None`` whenever the
+    flat plan is not strictly flatter (which covers both "flat never
+    wins" *and* "flat always wins because its data cost is lower" —
+    the two cases the analysis object distinguishes), ``0.0`` when the
+    flatter flat plan wins at every overhead, and the break-even
+    overhead otherwise.
     """
-    flat = compile_stages(flat_plan)
-    bushy = compile_stages(bushy_plan)
-    simulator = MapReduceSimulator(parameters, job_startup_cost=0.0)
-    flat_data = simulator.makespan(flat) if flat.stages else 0.0
-    bushy_data = simulator.makespan(bushy) if bushy.stages else 0.0
-    wave_difference = bushy.wave_count - flat.wave_count
-    if wave_difference <= 0:
+    analysis = overhead_crossover_analysis(flat_plan, bushy_plan, parameters)
+    if analysis.wave_difference <= 0:
         return None  # the flat plan is not actually flatter
-    crossover = (flat_data - bushy_data) / wave_difference
-    return max(crossover, 0.0)
+    if analysis.crossover is None:
+        return 0.0  # flat always wins
+    return analysis.crossover

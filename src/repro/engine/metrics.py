@@ -19,7 +19,17 @@ from ..core.plans import JoinAlgorithm
 
 @dataclass
 class OperatorMetrics:
-    """One executed operator's actual tuple counts."""
+    """One executed operator's actual tuple counts.
+
+    ``retries``/``faults_injected``/``recovery_cost`` stay at their
+    zero defaults unless a fault injector was active: ``retries``
+    counts failed attempts that were re-run, ``faults_injected`` counts
+    every fault that hit the operator (including stragglers, which
+    don't retry), and ``recovery_cost`` is the priced overhead —
+    backoff waits, wasted attempts, replica re-scans, lineage
+    re-shipping, and straggler delay — the fault handling added on top
+    of :meth:`simulated_cost`.
+    """
 
     operator: str
     algorithm: str
@@ -27,6 +37,9 @@ class OperatorMetrics:
     tuples_shipped: int = 0
     tuples_produced: int = 0
     wall_seconds: float = 0.0
+    retries: int = 0
+    faults_injected: int = 0
+    recovery_cost: float = 0.0
 
     def simulated_cost(self, parameters: CostParameters) -> float:
         """Price this operator with Table I using actual counts."""
@@ -48,15 +61,26 @@ class OperatorMetrics:
         }[algorithm]
         return io + transfer + gamma * self.tuples_produced
 
+    def total_cost(self, parameters: CostParameters) -> float:
+        """Data cost plus the recovery surcharge this operator paid."""
+        return self.simulated_cost(parameters) + self.recovery_cost
+
 
 @dataclass
 class ExecutionMetrics:
-    """Aggregated metrics for one executed plan."""
+    """Aggregated metrics for one executed plan.
+
+    The fault fields are only populated (and only surface in
+    :meth:`summary`) when the executor ran with an active fault
+    injector; fault-free execution reports exactly what it always did.
+    """
 
     operators: List[OperatorMetrics] = field(default_factory=list)
     result_rows: int = 0
     wall_seconds: float = 0.0
     critical_path_cost: float = 0.0
+    fault_injection_enabled: bool = False
+    workers_failed: int = 0
 
     @property
     def total_tuples_read(self) -> int:
@@ -73,9 +97,24 @@ class ExecutionMetrics:
         """Σ tuples produced across all operators."""
         return sum(op.tuples_produced for op in self.operators)
 
+    @property
+    def total_retries(self) -> int:
+        """Σ failed attempts that were re-run across all operators."""
+        return sum(op.retries for op in self.operators)
+
+    @property
+    def total_faults_injected(self) -> int:
+        """Σ faults injected across all operators."""
+        return sum(op.faults_injected for op in self.operators)
+
+    @property
+    def total_recovery_cost(self) -> float:
+        """Σ priced recovery overhead across all operators."""
+        return sum(op.recovery_cost for op in self.operators)
+
     def summary(self) -> Dict[str, float]:
         """The headline numbers as a flat dictionary."""
-        return {
+        data = {
             "result_rows": self.result_rows,
             "tuples_read": self.total_tuples_read,
             "tuples_shipped": self.total_tuples_shipped,
@@ -83,3 +122,9 @@ class ExecutionMetrics:
             "wall_seconds": self.wall_seconds,
             "simulated_time": self.critical_path_cost,
         }
+        if self.fault_injection_enabled:
+            data["faults_injected"] = self.total_faults_injected
+            data["retries"] = self.total_retries
+            data["workers_failed"] = self.workers_failed
+            data["recovery_cost"] = self.total_recovery_cost
+        return data

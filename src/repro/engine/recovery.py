@@ -1,0 +1,209 @@
+"""Fault recovery: bounded retries, backoff pricing, stage recovery.
+
+This is the *recovery* half of the fault-tolerance subsystem
+(:mod:`repro.engine.faults` is the injection half).  It mirrors how the
+paper's Hadoop substrate actually survives failures:
+
+* **transient fault** — the task's output is lost; the attempt is
+  re-executed after a backoff.  The wasted attempt's data cost and the
+  simulated backoff are charged to the operator's ``recovery_cost``,
+  which the executor prices into the plan's critical path (a retried
+  task stretches its stage barrier).
+* **fail-stop crash** — the worker is marked dead and its partition is
+  re-routed to the next live worker *from the durable replica* the
+  partitioning retains (HDFS keeps block replicas; our stand-in is the
+  original per-worker graph, which recovery never mutates).  In-flight
+  intermediate relations — the outputs of already-finished stages,
+  durable in HDFS terms — migrate the dead worker's slice to the same
+  survivor, so only the lost worker's lineage is touched and every
+  other worker's work is preserved.  Recovery cost = replica re-scan
+  (``α`` per triple) + intermediate re-shipping (``β_repartition`` per
+  row) + backoff.
+* **straggler** — the operator still succeeds, but the slow worker's
+  share of the stage is stretched by the slowdown factor; the extra
+  time is charged as recovery cost (speculative execution would cap
+  it; we price the uncapped pessimistic case).
+
+Retries are bounded by :class:`RetryPolicy`; exhausting them raises
+:class:`FaultToleranceError`, the simulated analogue of a Hadoop job
+abort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple, TYPE_CHECKING
+
+from ..core.cost import CostParameters
+from .faults import FaultEvent, FaultInjector, FaultKind
+from .metrics import OperatorMetrics
+from .relations import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster imports nothing here)
+    from .cluster import Cluster
+
+#: one operator attempt: () -> (distributed relation, its metrics record)
+AttemptRunner = Callable[[], Tuple[List[Relation], OperatorMetrics]]
+
+
+class FaultToleranceError(RuntimeError):
+    """Raised when an operator exhausts its retry budget (job abort)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff, priced in cost units.
+
+    The ``retry``-th backoff (1-based) costs
+    ``backoff_base * backoff_multiplier ** (retry - 1)`` simulated cost
+    units — the same currency as Table I, so backoff waits land on the
+    critical path alongside data movement.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 50.0
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+
+    def backoff_cost(self, retry: int) -> float:
+        """Simulated cost of the *retry*-th backoff wait (1-based)."""
+        return self.backoff_base * self.backoff_multiplier ** (retry - 1)
+
+    def total_backoff(self, retries: int) -> float:
+        """Σ backoff cost over the first *retries* retries."""
+        return sum(self.backoff_cost(k) for k in range(1, retries + 1))
+
+    # ------------------------------------------------------------------
+    # analytic expectations (used by the MapReduce simulator)
+    # ------------------------------------------------------------------
+    def expected_attempts(self, fault_rate: float) -> float:
+        """E[times a task runs] when each attempt fails w.p. *fault_rate*.
+
+        Truncated at ``max_retries`` retries: attempt ``k+1`` happens
+        exactly when the first ``k`` attempts all failed, so the
+        expectation is ``Σ_{k=0..max_retries} fault_rate**k``.
+        """
+        if fault_rate <= 0.0:
+            return 1.0
+        return sum(fault_rate**k for k in range(self.max_retries + 1))
+
+    def expected_backoff(self, fault_rate: float) -> float:
+        """E[total backoff cost] under per-attempt failure *fault_rate*.
+
+        The ``k``-th backoff is paid exactly when the first ``k``
+        attempts all failed (probability ``fault_rate**k``).
+        """
+        if fault_rate <= 0.0:
+            return 0.0
+        return sum(
+            (fault_rate**k) * self.backoff_cost(k)
+            for k in range(1, self.max_retries + 1)
+        )
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+class RecoveryManager:
+    """Stage-level recovery driver for one :meth:`Executor.execute` run.
+
+    The executor funnels every operator attempt through
+    :meth:`run_operator`, handing over the registry of *in-flight*
+    distributed relations (computed but not yet consumed) so a
+    fail-stop can migrate the dead worker's slices in one place.
+    """
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        injector: FaultInjector,
+        policy: RetryPolicy,
+        parameters: CostParameters,
+    ) -> None:
+        self.cluster = cluster
+        self.injector = injector
+        self.policy = policy
+        self.parameters = parameters
+        self.workers_failed = 0
+
+    def run_operator(
+        self,
+        label: str,
+        run_once: AttemptRunner,
+        inflight: List[List[Relation]],
+    ) -> Tuple[List[Relation], OperatorMetrics]:
+        """Run one operator to success (or retry exhaustion)."""
+        retries = 0
+        faults = 0
+        recovery = 0.0
+        while True:
+            fault = self.injector.draw(label, retries, self.cluster.live_workers)
+            if fault is None:
+                result, op = run_once()
+                break
+            faults += 1
+            if fault.kind is FaultKind.STRAGGLER:
+                result, op = run_once()
+                recovery += self._straggler_penalty(fault, op)
+                break
+            retries += 1
+            if retries > self.policy.max_retries:
+                raise FaultToleranceError(
+                    f"{label}: retry budget ({self.policy.max_retries}) exhausted; "
+                    f"last fault was {fault}"
+                )
+            recovery += self.policy.backoff_cost(retries)
+            if fault.kind is FaultKind.TRANSIENT:
+                # the attempt ran and its output was lost: charge its
+                # full data cost as wasted work, then go around again
+                _, wasted = run_once()
+                recovery += wasted.simulated_cost(self.parameters)
+            else:
+                recovery += self._recover_fail_stop(fault.worker, inflight)
+        op.retries = retries
+        op.faults_injected = faults
+        op.recovery_cost = recovery
+        return result, op
+
+    # ------------------------------------------------------------------
+    # fault-specific recovery
+    # ------------------------------------------------------------------
+    def _recover_fail_stop(
+        self, worker: int, inflight: List[List[Relation]]
+    ) -> float:
+        """Kill *worker*, migrate its lineage to a survivor; return the cost."""
+        target, triples_rerouted = self.cluster.fail_worker(worker)
+        rows_moved = 0
+        for distributed in inflight:
+            lost = distributed[worker]
+            if len(lost):
+                distributed[target].union_inplace(lost)
+                rows_moved += len(lost)
+            distributed[worker] = Relation(lost.variables)
+        self.workers_failed += 1
+        return (
+            self.parameters.alpha * triples_rerouted
+            + self.parameters.beta_repartition * rows_moved
+        )
+
+    def _straggler_penalty(self, fault: FaultEvent, op: OperatorMetrics) -> float:
+        """Extra critical-path time the slow worker's share costs.
+
+        Table I prices scans at zero, but a straggling scan still
+        delays its stage, so the fallback base is the scan's I/O
+        (``α × tuples_read``).
+        """
+        base = op.simulated_cost(self.parameters)
+        if base <= 0.0:
+            base = self.parameters.alpha * op.tuples_read
+        share = base / max(self.cluster.live_size, 1)
+        return (fault.slowdown - 1.0) * share

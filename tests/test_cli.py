@@ -79,6 +79,61 @@ class TestRun:
         captured = capsys.readouterr()
         assert "more rows" in captured.err
 
+    def test_fault_injection_flags(self, capsys, query_file, data_file):
+        code = main(
+            [
+                "run",
+                query_file,
+                "--data",
+                data_file,
+                "--workers",
+                "3",
+                "--fault-rate",
+                "0.4",
+                "--fault-seed",
+                "7",
+                "--max-retries",
+                "32",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        # same bindings as the fault-free run
+        assert "result_rows: 10" in captured.err
+        assert "faults_injected:" in captured.err
+        assert "recovery_cost:" in captured.err
+
+    def test_zero_fault_rate_output_unchanged(self, capsys, query_file, data_file):
+        main(["run", query_file, "--data", data_file, "--workers", "3"])
+        baseline = capsys.readouterr()
+        main(
+            [
+                "run",
+                query_file,
+                "--data",
+                data_file,
+                "--workers",
+                "3",
+                "--fault-rate",
+                "0",
+                "--fault-seed",
+                "99",
+            ]
+        )
+        faulty = capsys.readouterr()
+        assert faulty.out == baseline.out
+
+        def simulated(err):  # drop wall-clock lines, keep simulated metrics
+            return [line for line in err.splitlines() if "seconds" not in line]
+
+        assert simulated(faulty.err) == simulated(baseline.err)
+
+    def test_fault_flags_parse_defaults(self):
+        args = build_parser().parse_args(["run", "q.sparql", "--data", "d.nt"])
+        assert args.fault_rate == 0.0
+        assert args.fault_seed == 0
+        assert args.max_retries is None
+
 
 class TestParser:
     def test_requires_subcommand(self):

@@ -8,7 +8,16 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core import StatisticsCatalog, optimize
 from repro.core.join_graph import JoinGraph
-from repro.engine import Cluster, Executor, evaluate_reference
+from repro.engine import (
+    Cluster,
+    Executor,
+    FailStop,
+    FaultInjector,
+    RetryPolicy,
+    Straggler,
+    Transient,
+    evaluate_reference,
+)
 from repro.partitioning import (
     HashSubjectObject,
     PathBMC,
@@ -96,6 +105,47 @@ def test_cluster_size_does_not_change_results(seed, cluster_size):
     cluster = Cluster.build(dataset, method, cluster_size=cluster_size)
     relation, _ = Executor(cluster).execute(result.plan, query)
     assert relation.rows == reference.rows
+
+
+FAULT_MODEL_MIXES = [
+    None,  # the default mixed taxonomy
+    (FailStop(),),
+    (Transient(),),
+    (Straggler(),),
+]
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    fault_seed=st.integers(min_value=0, max_value=10_000),
+    mix_index=st.integers(min_value=0, max_value=3),
+)
+def test_recovered_execution_equals_reference(seed, fault_seed, mix_index):
+    """Faulty runs stay exact: for every seed and fault model, the
+    recovered execution returns precisely the reference bindings."""
+    rng = random.Random(seed)
+    dataset = random_dataset(rng)
+    query = random_connected_query(rng, 3)
+    method = METHODS[seed % len(METHODS)]
+    reference = evaluate_reference(query, dataset.graph)
+    statistics = StatisticsCatalog.from_dataset(query, dataset)
+    result = optimize(query, statistics=statistics, partitioning=method)
+    cluster = Cluster.build(dataset, method, cluster_size=4)
+    injector = FaultInjector(
+        0.35, seed=fault_seed, models=FAULT_MODEL_MIXES[mix_index]
+    )
+    executor = Executor(
+        cluster, fault_injector=injector, retry_policy=RetryPolicy(max_retries=64)
+    )
+    relation, metrics = executor.execute(result.plan, query)
+    assert relation.rows == reference.rows
+    assert metrics.fault_injection_enabled
+    assert metrics.total_recovery_cost >= 0.0
 
 
 @settings(max_examples=10, deadline=None)

@@ -10,6 +10,7 @@ from repro.engine.mapreduce import (
     MapReduceSimulator,
     compile_stages,
     overhead_crossover,
+    overhead_crossover_analysis,
 )
 from repro.partitioning import HashSubjectObject
 from repro.workloads.generators import chain_query, star_query, tree_query
@@ -116,3 +117,58 @@ class TestCrossover:
             JoinAlgorithm.REPARTITION, [builder.scan(0), builder.scan(1)]
         )
         assert overhead_crossover(plan, plan) is None
+
+    def test_analysis_separates_always_from_never(self, builder):
+        """The old None return conflated two opposite regimes; the
+        analysis object tells them apart."""
+        cheap = builder.local_join_plan(0b11)  # 0 waves, minimal data
+        deep = builder.scan(0)
+        for i in range(1, 5):
+            deep = builder.join(JoinAlgorithm.REPARTITION, [deep, builder.scan(i)])
+
+        # "flat" plan both flatter AND cheaper -> wins for every overhead
+        always = overhead_crossover_analysis(cheap, deep)
+        assert always.flat_always_wins
+        assert not always.flat_never_wins
+        assert always.crossover is None
+        assert "always" in always.describe()
+
+        # swapped roles: deeper AND costlier -> never wins
+        never = overhead_crossover_analysis(deep, cheap)
+        assert never.flat_never_wins
+        assert not never.flat_always_wins
+        assert never.crossover is None
+        assert "never" in never.describe()
+
+        # the legacy wrapper mapped BOTH of these to None/0.0-style
+        # answers; make sure each analysis agrees with the simulator
+        for overhead in (0.0, 5.0, 50.0):
+            sim = MapReduceSimulator(job_startup_cost=overhead)
+            assert sim.makespan(compile_stages(cheap)) <= sim.makespan(
+                compile_stages(deep)
+            )
+
+    def test_analysis_crossover_matches_simulator(self):
+        import random
+
+        query = tree_query(8, random.Random(1))
+        builder = make_builder(query, seed=1)
+        index = LocalQueryIndex(builder.join_graph, HashSubjectObject())
+        bushy = TopDownEnumerator(builder.join_graph, builder, index).optimize().plan
+        flat = (
+            MSCOptimizer(builder.join_graph, builder, index, timeout_seconds=60)
+            .optimize()
+            .plan
+        )
+        analysis = overhead_crossover_analysis(flat, bushy, builder.parameters)
+        if analysis.wave_difference <= 0:
+            pytest.skip("optimal plan already as flat as MSC's on this instance")
+        assert analysis.crossover == overhead_crossover(flat, bushy, builder.parameters)
+        assert analysis.crossover is not None
+        flat_schedule, bushy_schedule = compile_stages(flat), compile_stages(bushy)
+        above = MapReduceSimulator(
+            builder.parameters, job_startup_cost=analysis.crossover + 1.0
+        )
+        below = MapReduceSimulator(builder.parameters, job_startup_cost=0.0)
+        assert above.makespan(flat_schedule) < above.makespan(bushy_schedule)
+        assert below.makespan(flat_schedule) >= below.makespan(bushy_schedule)
