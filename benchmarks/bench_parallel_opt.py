@@ -1,0 +1,237 @@
+#!/usr/bin/env python
+"""Throughput benchmark: batch optimization, parallel search, plan cache.
+
+Three sections, written to ``BENCH_parallel_opt.json``:
+
+* **batch** — a Table IV-style workload of random chain/cycle/tree
+  queries (10–40 patterns) pushed through :func:`optimize_many` with 1
+  worker vs. N workers; reports wall-clock throughput and the speedup.
+* **intra_query** — one larger query optimized serially vs. with the
+  root division space split across workers; asserts the two costs are
+  bit-identical (the correctness contract of the parallel search).
+* **cache** — the same workload run cold and then repeated against a
+  warm :class:`~repro.core.plan_cache.PlanCache`; reports mean cold
+  optimization latency, mean cache-hit latency, and their ratio.
+
+The ``--baseline`` gate compares the *cache speedup ratio* (cold mean /
+hit mean) against a committed baseline and fails if the cached path has
+regressed more than 2× relative to it.  The ratio is a property of the
+code (hash + JSON canonicalization vs. full enumeration), not of the
+machine, so the gate is stable across runner hardware; absolute times
+and ``cpu_count`` are recorded for context only.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_opt.py --quick \
+        --output BENCH_parallel_opt.json \
+        --baseline benchmarks/baseline_parallel_opt.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import optimize, optimize_many, optimize_query_parallel
+from repro.core.cardinality import StatisticsCatalog
+from repro.core.join_graph import QueryShape
+from repro.core.plan_cache import PlanCache
+from repro.workloads.generators import generate_query
+
+#: (shape, sizes) sweep per mode; star is excluded — on a subject-star
+#: every pattern subset is connected, so enumeration is exponential in
+#: the query size and drowns the throughput signal
+WORKLOADS = {
+    "full": [
+        (QueryShape.CHAIN, (10, 20, 30, 40)),
+        (QueryShape.CYCLE, (10, 20, 30, 40)),
+        (QueryShape.TREE, (10, 12, 14, 16)),
+    ],
+    "quick": [
+        (QueryShape.CHAIN, (10, 14)),
+        (QueryShape.CYCLE, (10, 14)),
+        (QueryShape.TREE, (10, 12)),
+    ],
+}
+ALGORITHM = "td-cmdp"
+
+
+def build_workload(mode: str, seed: int = 2017):
+    """The benchmark's query/statistics pairs, deterministically seeded."""
+    rng = random.Random(seed)
+    items = []
+    for shape, sizes in WORKLOADS[mode]:
+        for size in sizes:
+            query = generate_query(shape, size, random.Random(rng.randrange(2**31)))
+            statistics = StatisticsCatalog.from_random(
+                query, random.Random(rng.randrange(2**31))
+            )
+            items.append((query, statistics))
+    return items
+
+
+def bench_batch(items, jobs: int):
+    """optimize_many with 1 worker vs. *jobs* workers."""
+    started = time.perf_counter()
+    serial = optimize_many(items, algorithm=ALGORITHM, jobs=1)
+    serial_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    pooled = optimize_many(items, algorithm=ALGORITHM, jobs=jobs)
+    pooled_wall = time.perf_counter() - started
+
+    for a, b in zip(serial, pooled):
+        assert a.cost == b.cost, "batch parallel result diverged from serial"
+    return {
+        "queries": len(items),
+        "jobs": jobs,
+        "serial_wall_seconds": serial_wall,
+        "pooled_wall_seconds": pooled_wall,
+        "speedup": serial_wall / pooled_wall if pooled_wall > 0 else 0.0,
+        "serial_throughput_qps": len(items) / serial_wall,
+        "pooled_throughput_qps": len(items) / pooled_wall,
+    }
+
+
+def bench_intra_query(mode: str, jobs: int):
+    """Serial vs. root-sliced parallel search on one larger query."""
+    size = 16 if mode == "full" else 12
+    query = generate_query(QueryShape.TREE, size, random.Random(7))
+    serial = optimize(query, algorithm=ALGORITHM, seed=7)
+    parallel = optimize_query_parallel(query, algorithm=ALGORITHM, jobs=jobs, seed=7)
+    assert parallel.cost == serial.cost, "parallel search cost diverged from serial"
+    return {
+        "query": query.name,
+        "patterns": len(query),
+        "jobs": parallel.stats.workers,
+        "serial_seconds": serial.elapsed_seconds,
+        "parallel_seconds": parallel.elapsed_seconds,
+        "wall_speedup": (
+            serial.elapsed_seconds / parallel.elapsed_seconds
+            if parallel.elapsed_seconds > 0
+            else 0.0
+        ),
+        "worker_speedup": parallel.stats.speedup,
+        "per_worker_subqueries": parallel.stats.per_worker_subqueries,
+        "cost": serial.cost,
+        "plans_considered": serial.stats.plans_considered,
+    }
+
+
+def bench_cache(items):
+    """Cold enumeration vs. warm cache hits over the same workload."""
+    cache = PlanCache(capacity=len(items) + 8)
+    cold_times = []
+    for query, statistics in items:
+        started = time.perf_counter()
+        optimize(
+            query, algorithm=ALGORITHM, statistics=statistics, plan_cache=cache
+        )
+        cold_times.append(time.perf_counter() - started)
+    hit_times = []
+    for query, statistics in items:
+        started = time.perf_counter()
+        result = optimize(
+            query, algorithm=ALGORITHM, statistics=statistics, plan_cache=cache
+        )
+        hit_times.append(time.perf_counter() - started)
+        assert result.algorithm.endswith("+cache"), "expected a cache hit"
+    cold_mean = sum(cold_times) / len(cold_times)
+    hit_mean = sum(hit_times) / len(hit_times)
+    return {
+        "queries": len(items),
+        "cold_mean_seconds": cold_mean,
+        "hit_mean_seconds": hit_mean,
+        "hit_speedup": cold_mean / hit_mean if hit_mean > 0 else 0.0,
+        "hits": cache.stats.hits,
+        "misses": cache.stats.misses,
+    }
+
+
+def check_baseline(report: dict, baseline_path: Path) -> int:
+    """Gate: the cache speedup ratio must not regress >2x vs. baseline."""
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    base_speedup = baseline["cache"]["hit_speedup"]
+    current_speedup = report["cache"]["hit_speedup"]
+    floor = base_speedup / 2.0
+    print(
+        f"baseline gate: cache hit speedup {current_speedup:.1f}x "
+        f"(baseline {base_speedup:.1f}x, floor {floor:.1f}x)"
+    )
+    if current_speedup < floor:
+        print(
+            "FAIL: cached-path latency regressed more than 2x relative "
+            "to the committed baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small CI workload")
+    parser.add_argument("--jobs", type=int, default=4, help="pool size (default 4)")
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument("--output", default="BENCH_parallel_opt.json")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed baseline JSON; exit non-zero if the cache-hit "
+        "speedup drops below half the baseline's",
+    )
+    args = parser.parse_args(argv)
+    mode = "quick" if args.quick else "full"
+
+    items = build_workload(mode, seed=args.seed)
+    print(f"mode={mode} queries={len(items)} jobs={args.jobs}")
+
+    report = {
+        "mode": mode,
+        "algorithm": ALGORITHM,
+        "seed": args.seed,
+        "cpu_count": os.cpu_count(),
+        "affinity_cpus": (
+            len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else os.cpu_count()
+        ),
+        "python": sys.version.split()[0],
+    }
+    report["batch"] = bench_batch(items, args.jobs)
+    print(
+        f"batch: {report['batch']['serial_wall_seconds']:.2f}s serial vs "
+        f"{report['batch']['pooled_wall_seconds']:.2f}s x{args.jobs} "
+        f"(speedup {report['batch']['speedup']:.2f})"
+    )
+    report["intra_query"] = bench_intra_query(mode, args.jobs)
+    print(
+        f"intra-query: {report['intra_query']['serial_seconds']:.2f}s serial vs "
+        f"{report['intra_query']['parallel_seconds']:.2f}s parallel "
+        f"(cost identical: {report['intra_query']['cost']:.2f})"
+    )
+    report["cache"] = bench_cache(items)
+    print(
+        f"cache: cold {report['cache']['cold_mean_seconds'] * 1000:.1f}ms vs "
+        f"hit {report['cache']['hit_mean_seconds'] * 1000:.2f}ms "
+        f"({report['cache']['hit_speedup']:.0f}x)"
+    )
+
+    Path(args.output).write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.output}")
+    if args.baseline:
+        return check_baseline(report, Path(args.baseline))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,9 +27,12 @@ from .core import (
     JoinGraph,
     OptimizationResult,
     OptimizationTimeout,
+    PlanCache,
     QueryShape,
     StatisticsCatalog,
     optimize,
+    optimize_many,
+    optimize_query_parallel,
 )
 from .rdf import Dataset, IRI, Literal, RDFGraph, Triple, Variable, triple
 from .sparql import BGPQuery, QueryGraph, TriplePattern, parse_query
@@ -38,6 +41,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "optimize",
+    "optimize_many",
+    "optimize_query_parallel",
+    "PlanCache",
     "parse_query",
     "BGPQuery",
     "TriplePattern",

@@ -11,6 +11,11 @@ Usage::
 ``run`` also executes it on a simulated cluster and prints bindings;
 ``experiments`` regenerates one of the paper's tables/figures;
 ``demo`` runs the whole pipeline on the built-in LUBM-like workload.
+
+Throughput flags: ``--jobs N`` splits the td-cmd/td-cmdp root division
+space across N worker processes; ``optimize --plan-cache PATH`` keeps a
+persistent cross-query plan cache at PATH, so repeating a query
+short-circuits enumeration entirely.
 """
 
 from __future__ import annotations
@@ -64,6 +69,13 @@ def _partitioning(name: str | None):
 def cmd_optimize(args: argparse.Namespace) -> int:
     query = _load_query(args.query)
     dataset = _load_dataset(args.data)
+    cache = None
+    cache_path = None
+    if args.plan_cache:
+        from .core import PlanCache
+
+        cache_path = Path(args.plan_cache)
+        cache = PlanCache.load(cache_path) if cache_path.exists() else PlanCache()
     result = optimize(
         query,
         algorithm=args.algorithm,
@@ -71,6 +83,8 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         partitioning=_partitioning(args.partitioning),
         timeout_seconds=args.timeout,
         seed=args.seed,
+        plan_cache=cache,
+        jobs=args.jobs,
     )
     print(
         f"# {result.algorithm}: cost={result.cost:.2f} "
@@ -78,6 +92,20 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         f"time={result.elapsed_seconds * 1000:.1f}ms",
         file=sys.stderr,
     )
+    if result.stats.workers > 1:
+        print(
+            f"# workers={result.stats.workers} "
+            f"speedup={result.stats.speedup:.2f} "
+            f"per_worker_subqueries={result.stats.per_worker_subqueries}",
+            file=sys.stderr,
+        )
+    if cache is not None and cache_path is not None:
+        cache.save(cache_path)
+        print(
+            f"# plan-cache: {'hit' if cache.stats.hits else 'miss'} "
+            f"({len(cache)} entries at {cache_path})",
+            file=sys.stderr,
+        )
     if args.json:
         print(plan_to_json(result.plan, indent=2))
     elif args.dot:
@@ -188,12 +216,26 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--timeout", type=float, default=None)
     common.add_argument("--workers", type=int, default=10)
     common.add_argument("--seed", type=int, default=0)
+    common.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="optimizer worker processes (td-cmd/td-cmdp split their "
+        "root division space across them; other algorithms run serially)",
+    )
 
     p_opt = sub.add_parser("optimize", parents=[common], help="optimize a query file")
     p_opt.add_argument("query")
     p_opt.add_argument("--data", help="N-Triples file for statistics")
     p_opt.add_argument("--json", action="store_true", help="emit the plan as JSON")
     p_opt.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    p_opt.add_argument(
+        "--plan-cache",
+        metavar="PATH",
+        default=None,
+        help="persistent cross-query plan cache file; a repeated query "
+        "skips enumeration entirely",
+    )
     p_opt.set_defaults(func=cmd_optimize)
 
     p_run = sub.add_parser("run", parents=[common], help="optimize and execute")

@@ -33,9 +33,18 @@ from .enumeration import (
     OptimizationTimeout,
     TopDownEnumerator,
 )
+from .enumeration import SubqueryRecord
 from .join_graph import JoinGraph, QueryShape
 from .local_query import LocalQueryIndex
-from .optimizer import ALGORITHMS, make_builder, optimize
+from .optimizer import (
+    ALGORITHMS,
+    PARALLELIZABLE_ALGORITHMS,
+    make_builder,
+    optimize,
+    resolve_statistics,
+)
+from .parallel import default_jobs, optimize_many, optimize_query_parallel
+from .plan_cache import PlanCache, PlanCacheStats, query_signature
 from .plans import (
     JoinAlgorithm,
     JoinNode,
@@ -94,6 +103,15 @@ __all__ = [
     "EnumerationStats",
     "greedy_join_graph_reduction",
     "optimize",
+    "optimize_many",
+    "optimize_query_parallel",
+    "default_jobs",
     "make_builder",
+    "resolve_statistics",
     "ALGORITHMS",
+    "PARALLELIZABLE_ALGORITHMS",
+    "SubqueryRecord",
+    "PlanCache",
+    "PlanCacheStats",
+    "query_signature",
 ]

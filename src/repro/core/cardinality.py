@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..rdf.dataset import Dataset
 from ..rdf.terms import Variable
@@ -57,26 +57,33 @@ class StatisticsCatalog:
     # ------------------------------------------------------------------
     @classmethod
     def from_dataset(cls, query: BGPQuery, dataset: Dataset) -> "StatisticsCatalog":
-        """Exact statistics by scanning the dataset (small-data path)."""
+        """Exact statistics by scanning the dataset (small-data path).
+
+        Cardinality and per-variable distinct-binding sets are collected
+        in one pass over the match iterator: nothing is materialized and
+        each matching triple is touched exactly once, instead of once
+        per variable of the pattern.
+        """
         entries = []
         for tp in query:
-            matches = list(
-                dataset.graph.match(tp.subject, tp.predicate, tp.object)
-            )
-            bindings: Dict[Variable, float] = {}
-            for variable in tp.variables():
-                values = set()
-                for t in matches:
-                    if tp.subject == variable:
-                        values.add(t.subject)
-                    if tp.predicate == variable:
-                        values.add(t.predicate)
-                    if tp.object == variable:
-                        values.add(t.object)
-                bindings[variable] = float(max(len(values), 1))
+            slots: List[Tuple[Variable, int]] = [
+                (term, position)
+                for position, term in enumerate(tp.terms())
+                if isinstance(term, Variable)
+            ]
+            values: Dict[Variable, set] = {v: set() for v, _ in slots}
+            count = 0
+            for t in dataset.graph.match(tp.subject, tp.predicate, tp.object):
+                count += 1
+                terms = t.terms()
+                for variable, position in slots:
+                    values[variable].add(terms[position])
+            bindings: Dict[Variable, float] = {
+                v: float(max(len(vals), 1)) for v, vals in values.items()
+            }
             entries.append(
                 PatternStatistics(
-                    cardinality=float(max(len(matches), 1)), bindings=bindings
+                    cardinality=float(max(count, 1)), bindings=bindings
                 )
             )
         return cls(query, entries)
@@ -129,9 +136,12 @@ class StatisticsCatalog:
         entries = []
         for tp in query:
             cardinality = rng.randint(1, max_cardinality)
+            # sorted draw order: frozenset iteration depends on the
+            # per-process hash seed, and seeded statistics must be
+            # reproducible across processes (pool workers, CLI runs)
             bindings = {
                 variable: float(rng.randint(1, cardinality))
-                for variable in tp.variables()
+                for variable in sorted(tp.variables(), key=lambda v: v.name)
             }
             entries.append(
                 PatternStatistics(cardinality=float(cardinality), bindings=bindings)
@@ -191,22 +201,53 @@ class CardinalityEstimator:
     # the Eq. 11 fold
     # ------------------------------------------------------------------
     def _fold(self, bits: int) -> tuple[float, Dict[Variable, float]]:
-        cached = self._cache.get(bits)
-        if cached is not None:
-            return cached
-        indices = bs.to_indices(bits)
-        if not indices:
+        """Fold Eq. 11 incrementally, extending the largest cached prefix.
+
+        The fold runs in ascending pattern-index order, so the value for
+        a subquery is the value for its largest index-order prefix
+        extended by one pattern.  Instead of re-folding every pattern on
+        each cache miss, highest bits are peeled off until a cached
+        prefix (or a single pattern) is found, and only the missing
+        suffix is folded — every intermediate prefix is cached along the
+        way.  The arithmetic sequence is identical to a full re-fold, so
+        estimates are bit-for-bit unchanged.
+        """
+        if not bits:
             raise ValueError("cannot estimate the empty subquery")
-        first = self.catalog[indices[0]]
-        card = first.cardinality
-        bindings: Dict[Variable, float] = {
-            v: first.binding_count(v)
-            for v in self.join_graph.patterns[indices[0]].variables()
-        }
-        for index in indices[1:]:
+        pending: List[int] = []
+        rest = bits
+        base: Optional[tuple[float, Dict[Variable, float]]] = None
+        while rest:
+            cached = self._cache.get(rest)
+            if cached is not None:
+                base = cached
+                break
+            high = rest.bit_length() - 1
+            pending.append(high)
+            rest &= ~(1 << high)
+        if base is None:
+            # nothing cached: seed the fold with the lowest-index pattern
+            first_index = pending.pop()
+            first = self.catalog[first_index]
+            card = first.cardinality
+            bindings: Dict[Variable, float] = {
+                v: first.binding_count(v)
+                for v in self.join_graph.patterns[first_index].variables()
+            }
+            rest = 1 << first_index
+            self._cache[rest] = (card, bindings)
+        else:
+            card, bindings = base
+        for index in reversed(pending):
             stats = self.catalog[index]
             pattern = self.join_graph.patterns[index]
-            shared = [v for v in pattern.variables() if v in bindings]
+            bindings = dict(bindings)  # cached prefixes stay immutable
+            # sorted so the float product is bit-identical across
+            # processes (frozenset order follows the per-process hash seed)
+            shared = sorted(
+                (v for v in pattern.variables() if v in bindings),
+                key=lambda v: v.name,
+            )
             denominator = 1.0
             for v in shared:
                 denominator *= max(bindings[v], stats.binding_count(v))
@@ -215,6 +256,6 @@ class CardinalityEstimator:
             for v in pattern.variables():
                 b = stats.binding_count(v)
                 bindings[v] = min(bindings.get(v, b), b)
-        result = (card, bindings)
-        self._cache[bits] = result
-        return result
+            rest |= 1 << index
+            self._cache[rest] = (card, bindings)
+        return self._cache[bits]

@@ -18,8 +18,8 @@ to override :meth:`divisions` and the local-query short-circuit flag.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..rdf.terms import Variable
 from . import bitset as bs
@@ -39,11 +39,32 @@ class CartesianProductError(ValueError):
 
 
 @dataclass
+class SubqueryRecord:
+    """Exclusive per-subquery counters from one ``BestPlanGen`` call.
+
+    "Exclusive" means the candidates costed for this subquery only —
+    recursion into child subqueries is recorded under their own bitsets.
+    Because the candidate set of a subquery is a deterministic function
+    of its bitset, records from different workers can be deduplicated by
+    bitset to reconstruct the serial totals exactly (see
+    :mod:`.parallel`).
+    """
+
+    plans_considered: int = 0
+    divisions_enumerated: int = 0
+    local_short_circuits: int = 0
+
+
+@dataclass
 class EnumerationStats:
     """Counters the experiments report.
 
     ``plans_considered`` is the "size of the search space" of Table VII:
     the number of candidate plans actually constructed and costed.
+
+    The ``workers`` / ``per_worker_*`` / ``speedup`` fields are filled
+    only by the parallel search drivers in :mod:`.parallel`; a serial
+    run leaves them at their defaults (one worker, no breakdown).
     """
 
     plans_considered: int = 0
@@ -51,6 +72,14 @@ class EnumerationStats:
     subqueries_expanded: int = 0
     memo_hits: int = 0
     local_short_circuits: int = 0
+    #: number of search workers (1 = serial)
+    workers: int = 1
+    #: subqueries expanded by each worker (parallel search only)
+    per_worker_subqueries: List[int] = field(default_factory=list)
+    #: wall seconds spent inside each worker (parallel search only)
+    per_worker_seconds: List[float] = field(default_factory=list)
+    #: Σ worker seconds / parallel wall seconds (parallel search only)
+    speedup: float = 0.0
 
 
 @dataclass
@@ -88,6 +117,8 @@ class TopDownEnumerator:
         self.local_index = local_index or LocalQueryIndex(join_graph, None)
         self.timeout_seconds = timeout_seconds
         self.stats = EnumerationStats()
+        #: exclusive counters per expanded subquery, for parallel merging
+        self.subquery_records: Dict[int, SubqueryRecord] = {}
         self._memo: Dict[int, PlanNode] = {}
         self._deadline: Optional[float] = None
 
@@ -139,13 +170,17 @@ class TopDownEnumerator:
         """
         self._check_deadline()
         self.stats.subqueries_expanded += 1
+        record = SubqueryRecord()
+        self.subquery_records[bits] = record
         if bs.popcount(bits) == 1:
             return self.builder.scan(bs.lowest_index(bits))
         best: Optional[PlanNode] = None
         if is_local:
             best = self.builder.local_join_plan(bits)
+            record.plans_considered += 1
             self.stats.plans_considered += 1
             if self.local_short_circuit:
+                record.local_short_circuits += 1
                 self.stats.local_short_circuits += 1
                 return best
         parameters = self.builder.parameters
@@ -154,6 +189,7 @@ class TopDownEnumerator:
         best_choice = None  # (operator, children, variable)
         deadline_tick = 0
         for parts, variable, operators in self.divisions(bits):
+            record.divisions_enumerated += 1
             self.stats.divisions_enumerated += 1
             deadline_tick += 1
             if deadline_tick & 0xFF == 0:
@@ -165,6 +201,7 @@ class TopDownEnumerator:
                 cost = child_cost + parameters.operator_cost(
                     operator, inputs, output_cardinality
                 )
+                record.plans_considered += 1
                 self.stats.plans_considered += 1
                 if cost < best_cost:
                     best_cost = cost

@@ -24,6 +24,7 @@ from .cost import CostParameters, PAPER_PARAMETERS, PlanBuilder
 from .enumeration import OptimizationResult, TopDownEnumerator
 from .join_graph import JoinGraph
 from .local_query import LocalQueryIndex
+from .plan_cache import PlanCache
 from .pruning import PrunedTopDownEnumerator
 from .reduction import ReductionOptimizer
 
@@ -33,6 +34,28 @@ ALGORITHMS: Dict[str, type] = {
     "hgr-td-cmd": ReductionOptimizer,
     "td-auto": AutonomousOptimizer,
 }
+
+#: algorithms whose root division space the intra-query parallel search
+#: can split across workers (see :mod:`.parallel`)
+PARALLELIZABLE_ALGORITHMS = ("td-cmd", "td-cmdp")
+
+
+def resolve_statistics(
+    query: BGPQuery,
+    statistics: Optional[StatisticsCatalog] = None,
+    dataset: Optional[Dataset] = None,
+    seed: int = 0,
+) -> StatisticsCatalog:
+    """Resolve the statistics source for one query.
+
+    Resolution order: explicit catalog > dataset-derived > random (the
+    paper's synthetic-statistics mode, seeded for reproducibility).
+    """
+    if statistics is not None:
+        return statistics
+    if dataset is not None:
+        return StatisticsCatalog.from_dataset(query, dataset)
+    return StatisticsCatalog.from_random(query, random.Random(seed))
 
 
 def make_builder(
@@ -44,16 +67,10 @@ def make_builder(
 ) -> PlanBuilder:
     """Assemble the (join graph, estimator, cost) triple for a query.
 
-    Statistics resolution order: explicit catalog > dataset-derived >
-    random (the paper's synthetic-statistics mode, seeded for
-    reproducibility).
+    Statistics are resolved via :func:`resolve_statistics`.
     """
     join_graph = JoinGraph(query)
-    if statistics is None:
-        if dataset is not None:
-            statistics = StatisticsCatalog.from_dataset(query, dataset)
-        else:
-            statistics = StatisticsCatalog.from_random(query, random.Random(seed))
+    statistics = resolve_statistics(query, statistics, dataset, seed)
     estimator = CardinalityEstimator(join_graph, statistics)
     return PlanBuilder(join_graph, estimator, parameters)
 
@@ -67,6 +84,8 @@ def optimize(
     parameters: CostParameters = PAPER_PARAMETERS,
     timeout_seconds: Optional[float] = None,
     seed: int = 0,
+    plan_cache: Optional[PlanCache] = None,
+    jobs: int = 1,
 ) -> OptimizationResult:
     """Optimize a BGP query into a k-ary bushy plan.
 
@@ -78,7 +97,7 @@ def optimize(
         ``"td-cmd"``, ``"td-cmdp"``, ``"hgr-td-cmd"``, or ``"td-auto"``
         (case-insensitive).
     statistics / dataset:
-        Cardinality sources; see :func:`make_builder`.
+        Cardinality sources; see :func:`resolve_statistics`.
     partitioning:
         The data partitioning method; enables local-query detection.
         ``None`` means every multi-pattern subquery is distributed.
@@ -86,18 +105,47 @@ def optimize(
         Cost-model constants (defaults to the paper's Table II).
     timeout_seconds:
         Abort with :class:`OptimizationTimeout` past this budget.
+    plan_cache:
+        A :class:`~repro.core.plan_cache.PlanCache`; a signature hit
+        short-circuits enumeration entirely, and fresh results are
+        stored for the next repetition.
+    jobs:
+        With ``jobs > 1`` and a parallelizable algorithm (``td-cmd`` /
+        ``td-cmdp``), the root division space is split across worker
+        processes (see :mod:`.parallel`); other algorithms run serially.
     """
     key = algorithm.lower()
     if key not in ALGORITHMS:
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
         )
-    builder = make_builder(query, statistics, dataset, parameters, seed)
-    local_index = LocalQueryIndex(builder.join_graph, partitioning)
-    implementation = ALGORITHMS[key](
-        builder.join_graph,
-        builder,
-        local_index=local_index,
-        timeout_seconds=timeout_seconds,
-    )
-    return implementation.optimize()
+    statistics = resolve_statistics(query, statistics, dataset, seed)
+    if plan_cache is not None:
+        cached = plan_cache.lookup(query, statistics, key, parameters, partitioning)
+        if cached is not None:
+            return cached
+    if jobs > 1 and key in PARALLELIZABLE_ALGORITHMS:
+        from .parallel import optimize_query_parallel
+
+        result = optimize_query_parallel(
+            query,
+            algorithm=key,
+            jobs=jobs,
+            statistics=statistics,
+            partitioning=partitioning,
+            parameters=parameters,
+            timeout_seconds=timeout_seconds,
+        )
+    else:
+        builder = make_builder(query, statistics, parameters=parameters)
+        local_index = LocalQueryIndex(builder.join_graph, partitioning)
+        implementation = ALGORITHMS[key](
+            builder.join_graph,
+            builder,
+            local_index=local_index,
+            timeout_seconds=timeout_seconds,
+        )
+        result = implementation.optimize()
+    if plan_cache is not None:
+        plan_cache.store(query, statistics, key, result, parameters, partitioning)
+    return result

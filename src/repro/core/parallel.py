@@ -1,0 +1,366 @@
+"""Throughput-oriented parallel plan search (process-pool based).
+
+Two complementary parallelization layers, following Trummer & Koch's
+observation that query-optimization search spaces split cleanly across
+shared-nothing workers:
+
+* **Inter-query** — :func:`optimize_many` drives a *batch* of
+  independent optimization calls through a process pool.  This is the
+  server scenario: a stream of queries arrives and each worker runs the
+  ordinary serial algorithm, so per-query results (plan, cost, stats)
+  are bit-identical to serial execution by construction.
+
+* **Intra-query** — :func:`optimize_query_parallel` splits the
+  *root-level* connected-multi-division space of TD-CMD / TD-CMDP
+  round-robin across workers.  Each worker runs a full memoized
+  sub-search restricted to its root slice; the driver merges the
+  results, picking the cheapest root candidate.  Because every
+  candidate's cost is computed by the same arithmetic in every worker,
+  the merged plan cost is bit-identical to the serial search.
+
+Merged :class:`~repro.core.enumeration.EnumerationStats` reconstruct the
+serial counters exactly: workers report *exclusive* per-subquery
+records (see :class:`~repro.core.enumeration.SubqueryRecord`), which the
+driver deduplicates by subquery bitset — a subquery expanded by several
+workers is counted once, exactly as the serial memo table would.  The
+lone exception is ``memo_hits``, which is inherently a property of the
+traversal (it is summed across workers and documented as such).
+Worker counts, per-worker subquery counts/wall times, and the achieved
+speedup are recorded in the merged stats.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..partitioning.base import PartitioningMethod
+from ..rdf.dataset import Dataset
+from ..sparql.ast import BGPQuery
+from .cardinality import StatisticsCatalog
+from .cost import CostParameters, PAPER_PARAMETERS
+from .enumeration import (
+    CartesianProductError,
+    EnumerationStats,
+    OptimizationResult,
+    SubqueryRecord,
+    TopDownEnumerator,
+)
+from .local_query import LocalQueryIndex
+from .optimizer import (
+    PARALLELIZABLE_ALGORITHMS,
+    make_builder,
+    optimize,
+    resolve_statistics,
+)
+from .plan_cache import PlanCache
+from .pruning import PrunedTopDownEnumerator
+
+#: one optimization request: a query, optionally paired with statistics
+#: (tuples and objects with ``query``/``statistics`` attributes, e.g.
+#: :class:`~repro.workloads.generators.WorkloadQuery`, are accepted)
+RequestLike = Union[BGPQuery, Tuple[BGPQuery, Optional[StatisticsCatalog]], Any]
+
+
+def default_jobs() -> int:
+    """Worker-count default: the CPUs this process may run on."""
+    try:
+        return len(os.sched_getaffinity(0))  # type: ignore[attr-defined]
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# intra-query parallel search
+# ----------------------------------------------------------------------
+class _RootSliceMixin:
+    """Restrict the root division space to a round-robin slice.
+
+    Non-root subqueries see the unrestricted division space, so their
+    exclusive stats records stay bit-identical to the serial search.
+    """
+
+    slice_index: int = 0
+    slice_count: int = 1
+
+    def divisions(self, bits):
+        iterator = super().divisions(bits)  # type: ignore[misc]
+        if bits != self.join_graph.full or self.slice_count <= 1:
+            yield from iterator
+            return
+        for i, division in enumerate(iterator):
+            if i % self.slice_count == self.slice_index:
+                yield division
+
+
+class _SlicedTopDown(_RootSliceMixin, TopDownEnumerator):
+    pass
+
+
+class _SlicedPrunedTopDown(_RootSliceMixin, PrunedTopDownEnumerator):
+    pass
+
+
+_SLICED = {"td-cmd": _SlicedTopDown, "td-cmdp": _SlicedPrunedTopDown}
+_SERIAL = {"td-cmd": TopDownEnumerator, "td-cmdp": PrunedTopDownEnumerator}
+
+
+def _intra_query_worker(payload: tuple) -> Dict[str, Any]:
+    """Run one root-slice sub-search (executed inside a pool process)."""
+    (
+        query,
+        statistics,
+        algorithm_key,
+        partitioning,
+        parameters,
+        timeout_seconds,
+        slice_index,
+        slice_count,
+    ) = payload
+    builder = make_builder(query, statistics, parameters=parameters)
+    local_index = LocalQueryIndex(builder.join_graph, partitioning)
+    enumerator = _SLICED[algorithm_key](
+        builder.join_graph,
+        builder,
+        local_index=local_index,
+        timeout_seconds=timeout_seconds,
+    )
+    enumerator.slice_index = slice_index
+    enumerator.slice_count = slice_count
+    started = time.perf_counter()
+    result = enumerator.optimize()
+    elapsed = time.perf_counter() - started
+    full = builder.join_graph.full
+    root_record = enumerator.subquery_records.pop(full)
+    return {
+        "plan": result.plan,
+        "cost": result.plan.cost,
+        "records": enumerator.subquery_records,
+        "root_record": root_record,
+        "memo_hits": result.stats.memo_hits,
+        "subqueries": result.stats.subqueries_expanded,
+        "elapsed": elapsed,
+    }
+
+
+def _merge_worker_stats(
+    outcomes: List[Dict[str, Any]], root_is_local: bool, wall_seconds: float
+) -> EnumerationStats:
+    """Rebuild serial-equivalent counters from per-worker records.
+
+    Non-root subqueries are deduplicated by bitset (each worker's
+    exclusive record for a bitset is identical, because the candidate
+    set is a function of the bitset alone).  Root records cover disjoint
+    division slices and are summed — minus the flat local seed plan,
+    which every worker prices but the serial search prices once.
+    """
+    records: Dict[int, SubqueryRecord] = {}
+    for outcome in outcomes:
+        for bits, record in outcome["records"].items():
+            records.setdefault(bits, record)
+    plans = sum(r.plans_considered for r in records.values())
+    divisions = sum(r.divisions_enumerated for r in records.values())
+    shorts = sum(r.local_short_circuits for r in records.values())
+    root_plans = sum(o["root_record"].plans_considered for o in outcomes)
+    if root_is_local:
+        root_plans -= len(outcomes) - 1
+    root_divisions = sum(o["root_record"].divisions_enumerated for o in outcomes)
+    worker_seconds = [o["elapsed"] for o in outcomes]
+    return EnumerationStats(
+        plans_considered=plans + root_plans,
+        divisions_enumerated=divisions + root_divisions,
+        subqueries_expanded=len(records) + 1,
+        memo_hits=sum(o["memo_hits"] for o in outcomes),
+        local_short_circuits=shorts,
+        workers=len(outcomes),
+        per_worker_subqueries=[o["subqueries"] for o in outcomes],
+        per_worker_seconds=worker_seconds,
+        speedup=(sum(worker_seconds) / wall_seconds) if wall_seconds > 0 else 0.0,
+    )
+
+
+def optimize_query_parallel(
+    query: BGPQuery,
+    algorithm: str = "td-cmd",
+    jobs: int = 2,
+    statistics: Optional[StatisticsCatalog] = None,
+    dataset: Optional[Dataset] = None,
+    partitioning: Optional[PartitioningMethod] = None,
+    parameters: CostParameters = PAPER_PARAMETERS,
+    timeout_seconds: Optional[float] = None,
+    seed: int = 0,
+) -> OptimizationResult:
+    """Optimize one query with the root division space split across workers.
+
+    Only ``td-cmd`` and ``td-cmdp`` are supported — their search is
+    driven entirely by the ``divisions`` hook, which is what gets
+    sliced.  Plan cost and all merged counters except ``memo_hits`` are
+    identical to the serial search; degenerate cases (one job, a root
+    with fewer divisions than workers, or a Rule-3 local short-circuit
+    at the root) transparently fall back to the serial path.
+    """
+    key = algorithm.lower()
+    if key not in PARALLELIZABLE_ALGORITHMS:
+        raise ValueError(
+            f"intra-query parallel search supports {PARALLELIZABLE_ALGORITHMS}, "
+            f"not {algorithm!r}"
+        )
+    started = time.perf_counter()
+    statistics = resolve_statistics(query, statistics, dataset, seed)
+    builder = make_builder(query, statistics, parameters=parameters)
+    join_graph = builder.join_graph
+    if not join_graph.is_connected(join_graph.full):
+        raise CartesianProductError(
+            "query is disconnected; Cartesian-product-free plans do not exist"
+        )
+    local_index = LocalQueryIndex(join_graph, partitioning)
+    probe = _SERIAL[key](join_graph, builder, local_index=local_index)
+    root_is_local = local_index.is_local(join_graph.full)
+    serial_kwargs = dict(
+        algorithm=key,
+        statistics=statistics,
+        partitioning=partitioning,
+        parameters=parameters,
+        timeout_seconds=timeout_seconds,
+    )
+    if root_is_local and probe.local_short_circuit:
+        # Rule 3 answers the root immediately; nothing to parallelize
+        return optimize(query, **serial_kwargs)
+    root_division_count = sum(1 for _ in probe.divisions(join_graph.full))
+    jobs = max(1, min(jobs, root_division_count))
+    if jobs <= 1:
+        return optimize(query, **serial_kwargs)
+    payloads = [
+        (
+            query,
+            statistics,
+            key,
+            partitioning,
+            parameters,
+            timeout_seconds,
+            index,
+            jobs,
+        )
+        for index in range(jobs)
+    ]
+    spawn_started = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        outcomes = list(pool.map(_intra_query_worker, payloads))
+    wall = time.perf_counter() - spawn_started
+    best = min(enumerate(outcomes), key=lambda item: (item[1]["cost"], item[0]))[1]
+    stats = _merge_worker_stats(outcomes, root_is_local, wall)
+    return OptimizationResult(
+        plan=best["plan"],
+        algorithm=f"{probe.algorithm_name}[parallel x{jobs}]",
+        stats=stats,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+# ----------------------------------------------------------------------
+# inter-query (batch) parallel optimization
+# ----------------------------------------------------------------------
+def _normalize_request(
+    item: RequestLike,
+) -> Tuple[BGPQuery, Optional[StatisticsCatalog]]:
+    """Accept a query, a (query, statistics) pair, or a workload record."""
+    if isinstance(item, BGPQuery):
+        return item, None
+    if isinstance(item, tuple):
+        query, statistics = item
+        return query, statistics
+    query = getattr(item, "query", None)
+    if isinstance(query, BGPQuery):
+        return query, getattr(item, "statistics", None)
+    raise TypeError(
+        f"cannot interpret {type(item).__name__} as an optimization request"
+    )
+
+
+def _batch_worker(payload: tuple) -> OptimizationResult:
+    """Optimize one query serially (executed inside a pool process)."""
+    query, statistics, algorithm, partitioning, parameters, timeout_seconds = payload
+    return optimize(
+        query,
+        algorithm=algorithm,
+        statistics=statistics,
+        partitioning=partitioning,
+        parameters=parameters,
+        timeout_seconds=timeout_seconds,
+    )
+
+
+def optimize_many(
+    items: Iterable[RequestLike],
+    algorithm: str = "td-auto",
+    jobs: Optional[int] = None,
+    dataset: Optional[Dataset] = None,
+    partitioning: Optional[PartitioningMethod] = None,
+    parameters: CostParameters = PAPER_PARAMETERS,
+    timeout_seconds: Optional[float] = None,
+    seed: int = 0,
+    plan_cache: Optional[PlanCache] = None,
+) -> List[OptimizationResult]:
+    """Optimize a batch of queries across a process pool.
+
+    Results are returned in input order.  Each query runs the ordinary
+    serial :func:`~repro.core.optimizer.optimize` inside a worker, so
+    every per-query result is identical to a serial call; the pool buys
+    wall-clock throughput, not different answers.  Statistics are
+    resolved in the driver (per item, then *dataset*, then the random
+    seed) so workers never re-scan data.
+
+    With *plan_cache* set, lookups happen in the driver before dispatch
+    — repeated queries never reach the pool — and fresh results are
+    stored on completion.  ``jobs`` defaults to the machine's available
+    CPUs; ``jobs=1`` (or a batch of one) skips the pool entirely.
+    """
+    requests = [_normalize_request(item) for item in items]
+    resolved = [
+        (query, resolve_statistics(query, statistics, dataset, seed))
+        for query, statistics in requests
+    ]
+    algorithm = algorithm.lower()
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    results: List[Optional[OptimizationResult]] = [None] * len(resolved)
+    pending: List[int] = []
+    for index, (query, statistics) in enumerate(resolved):
+        if plan_cache is not None:
+            hit = plan_cache.lookup(
+                query, statistics, algorithm, parameters, partitioning
+            )
+            if hit is not None:
+                results[index] = hit
+                continue
+        pending.append(index)
+    payloads = [
+        (
+            resolved[index][0],
+            resolved[index][1],
+            algorithm,
+            partitioning,
+            parameters,
+            timeout_seconds,
+        )
+        for index in pending
+    ]
+    if jobs <= 1 or len(pending) <= 1:
+        for index, payload in zip(pending, payloads):
+            results[index] = _batch_worker(payload)
+    else:
+        workers = min(jobs, len(pending))
+        chunksize = max(1, len(pending) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for index, result in zip(
+                pending, pool.map(_batch_worker, payloads, chunksize=chunksize)
+            ):
+                results[index] = result
+    if plan_cache is not None:
+        for index in pending:
+            query, statistics = resolved[index]
+            plan_cache.store(
+                query, statistics, algorithm, results[index], parameters, partitioning
+            )
+    return [result for result in results if result is not None]

@@ -83,30 +83,36 @@ def scan_pattern(graph: RDFGraph, pattern: TriplePattern) -> Relation:
     """Match one triple pattern against a graph; return its bindings.
 
     Handles repeated variables within the pattern (``?x p ?x``) by
-    filtering inconsistent matches.
+    filtering inconsistent matches.  Rows are built positionally from a
+    precomputed column template — no per-match dictionary is allocated,
+    which matters because every query execution starts with one scan per
+    pattern over potentially large match sets.
     """
     variables = sorted(pattern.variables(), key=lambda v: v.name)
     relation = Relation(variables)
+    terms = pattern.terms()
+    # first triple position providing each variable, plus equality checks
+    # between positions that repeat a variable
+    first_source: Dict[Variable, int] = {}
+    checks: List[Tuple[int, int]] = []
+    for position, term in enumerate(terms):
+        if isinstance(term, Variable):
+            if term in first_source:
+                checks.append((first_source[term], position))
+            else:
+                first_source[term] = position
+    columns = [first_source[v] for v in relation.variables]
     subject = pattern.subject if not isinstance(pattern.subject, Variable) else None
     predicate = (
         pattern.predicate if not isinstance(pattern.predicate, Variable) else None
     )
     object_ = pattern.object if not isinstance(pattern.object, Variable) else None
+    rows = relation.rows
     for triple in graph.match(subject, predicate, object_):
-        binding: Dict[Variable, Term] = {}
-        consistent = True
-        for term, value in (
-            (pattern.subject, triple.subject),
-            (pattern.predicate, triple.predicate),
-            (pattern.object, triple.object),
-        ):
-            if isinstance(term, Variable):
-                if term in binding and binding[term] != value:
-                    consistent = False
-                    break
-                binding[term] = value
-        if consistent:
-            relation.add_binding(binding)
+        t = triple.terms()
+        if checks and any(t[a] != t[b] for a, b in checks):
+            continue
+        rows.add(tuple(t[c] for c in columns))
     return relation
 
 
@@ -116,34 +122,60 @@ def hash_join(left: Relation, right: Relation) -> Relation:
     With no shared variables this degenerates to a Cartesian product —
     the optimizer never emits such plans, but the reference evaluator
     may need it for deliberately disconnected test queries.
+
+    Output rows are assembled positionally from a per-join column
+    template (which side, which column) computed once up front; the
+    per-row work is a key tuple and an output tuple, with no dictionary
+    allocation on the O(|build| · |probe|) hot path.
     """
     shared = [v for v in left.variables if right.has_variable(v)]
     out_vars = sorted(
         set(left.variables) | set(right.variables), key=lambda v: v.name
     )
     result = Relation(out_vars)
+    rows = result.rows
     if not shared:
+        sources = [
+            (True, left.position(v)) if left.has_variable(v)
+            else (False, right.position(v))
+            for v in result.variables
+        ]
         for lrow in left.rows:
-            lbind = dict(zip(left.variables, lrow))
             for rrow in right.rows:
-                binding = dict(zip(right.variables, rrow))
-                binding.update(lbind)
-                result.add_binding(binding)
+                rows.add(
+                    tuple(
+                        lrow[p] if from_left else rrow[p]
+                        for from_left, p in sources
+                    )
+                )
         return result
     # build on the smaller side
     build, probe = (left, right) if len(left) <= len(right) else (right, left)
     build_positions = [build.position(v) for v in shared]
     probe_positions = [probe.position(v) for v in shared]
+    # each output column reads from the build row when possible (shared
+    # variables are equal on both sides by the join key)
+    sources = [
+        (True, build.position(v)) if build.has_variable(v)
+        else (False, probe.position(v))
+        for v in result.variables
+    ]
     table: Dict[Tuple[Term, ...], List[Row]] = {}
     for row in build.rows:
         key = tuple(row[p] for p in build_positions)
         table.setdefault(key, []).append(row)
     for prow in probe.rows:
         key = tuple(prow[p] for p in probe_positions)
-        for brow in table.get(key, ()):
-            binding = dict(zip(build.variables, brow))
-            binding.update(zip(probe.variables, prow))
-            result.add_binding(binding)
+        bucket = table.get(key)
+        if bucket is None:
+            continue
+        for brow in bucket:
+            rows.add(
+                tuple(
+                    brow[p] if from_build else prow[p]
+                    for from_build, p in sources
+                )
+            )
     return result
 
 

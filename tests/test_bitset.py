@@ -52,10 +52,39 @@ class TestBasics:
         assert 0b111 not in subs
 
 
+def _reference_indices(bits):
+    """The pre-kernel shift-loop implementation, kept as the oracle for
+    the O(popcount) lowest-bit-stripping versions."""
+    result = []
+    index = 0
+    while bits:
+        if bits & 1:
+            result.append(index)
+        bits >>= 1
+        index += 1
+    return result
+
+
 class TestProperties:
     @given(bitsets)
     def test_round_trip(self, bits):
         assert bs.from_indices(bs.to_indices(bits)) == bits
+
+    @given(bitsets)
+    def test_to_indices_matches_reference(self, bits):
+        assert bs.to_indices(bits) == _reference_indices(bits)
+
+    @given(bitsets)
+    def test_iter_bits_matches_reference(self, bits):
+        assert list(bs.iter_bits(bits)) == _reference_indices(bits)
+
+    @given(st.integers(min_value=0, max_value=(1 << 200) - 1))
+    def test_kernels_agree_on_wide_bitsets(self, bits):
+        """Indices stay ascending and consistent far past machine width."""
+        indices = bs.to_indices(bits)
+        assert indices == sorted(indices)
+        assert list(bs.iter_bits(bits)) == indices
+        assert indices == _reference_indices(bits)
 
     @given(bitsets)
     def test_popcount_matches_indices(self, bits):

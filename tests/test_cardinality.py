@@ -88,6 +88,74 @@ class TestEquation11:
             est.cardinality(0)
 
 
+def _full_refold(jg, catalog, bits):
+    """Reference Eq. 11 fold: every pattern re-folded in index order.
+
+    This is the pre-incremental algorithm; the estimator's prefix-chain
+    extension must reproduce its float arithmetic bit for bit.
+    """
+    indices = bs.to_indices(bits)
+    first = catalog[indices[0]]
+    card = first.cardinality
+    bindings = {
+        v: first.binding_count(v)
+        for v in jg.patterns[indices[0]].variables()
+    }
+    for index in indices[1:]:
+        stats = catalog[index]
+        pattern = jg.patterns[index]
+        shared = sorted(
+            (v for v in pattern.variables() if v in bindings),
+            key=lambda v: v.name,
+        )
+        denominator = 1.0
+        for v in shared:
+            denominator *= max(bindings[v], stats.binding_count(v))
+        card = max(card * stats.cardinality / denominator, 1.0)
+        for v in pattern.variables():
+            b = stats.binding_count(v)
+            bindings[v] = min(bindings.get(v, b), b)
+    return card, bindings
+
+
+class TestIncrementalFold:
+    def test_matches_full_refold_on_every_subquery(self, fig1_query):
+        """Prefix-chain extension == full re-fold, bit for bit, for all
+        127 non-empty subsets of the Figure 1 query."""
+        jg = JoinGraph(fig1_query)
+        catalog = StatisticsCatalog.from_random(fig1_query, random.Random(6))
+        est = CardinalityEstimator(jg, catalog)
+        for bits in range(1, jg.full + 1):
+            expected_card, expected_bindings = _full_refold(jg, catalog, bits)
+            assert est.cardinality(bits) == expected_card
+            for variable, value in expected_bindings.items():
+                assert est.bindings(bits, variable) == min(
+                    value, expected_card
+                )
+
+    def test_call_order_does_not_change_estimates(self, fig1_query):
+        """The cache is an optimization, not a semantic: querying in
+        shuffled order gives the same answers as fresh estimators."""
+        jg = JoinGraph(fig1_query)
+        catalog = StatisticsCatalog.from_random(fig1_query, random.Random(8))
+        est = CardinalityEstimator(jg, catalog)
+        order = list(range(1, jg.full + 1))
+        random.Random(99).shuffle(order)
+        for bits in order:
+            fresh = CardinalityEstimator(jg, catalog)
+            assert est.cardinality(bits) == fresh.cardinality(bits)
+
+    def test_cached_prefixes_stay_immutable(self, fig1_query):
+        """Extending a cached prefix must not mutate its bindings dict."""
+        jg = JoinGraph(fig1_query)
+        catalog = StatisticsCatalog.from_random(fig1_query, random.Random(2))
+        est = CardinalityEstimator(jg, catalog)
+        est.cardinality(0b0000011)
+        before = dict(est._cache[0b0000011][1])
+        est.cardinality(jg.full)  # extends the 0b11 prefix
+        assert est._cache[0b0000011][1] == before
+
+
 class TestCatalogs:
     def test_from_random_ranges(self, fig1_query):
         catalog = StatisticsCatalog.from_random(

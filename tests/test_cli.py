@@ -66,6 +66,32 @@ class TestOptimize:
         with pytest.raises(ValueError):
             main(["optimize", query_file, "--algorithm", "bogus"])
 
+    def test_jobs_flag_runs_parallel_search(self, capsys, query_file):
+        code = main(
+            ["optimize", query_file, "--algorithm", "td-cmd", "--jobs", "2"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "scan[0]" in captured.out
+        # a 2-pattern query has a single root division: capped to serial
+        serial = main(["optimize", query_file, "--algorithm", "td-cmd"])
+        assert serial == 0
+
+    def test_plan_cache_hits_across_invocations(
+        self, capsys, tmp_path, query_file
+    ):
+        """Two CLI runs with the same seed: cold miss, then a warm hit
+        returning the identical plan (stats are cross-process stable)."""
+        cache = str(tmp_path / "plans.json")
+        assert main(["optimize", query_file, "--plan-cache", cache]) == 0
+        first = capsys.readouterr()
+        assert "plan-cache: miss" in first.err
+        assert main(["optimize", query_file, "--plan-cache", cache]) == 0
+        second = capsys.readouterr()
+        assert "plan-cache: hit" in second.err
+        assert "+cache" in second.err
+        assert second.out == first.out
+
 
 class TestRun:
     def test_executes_and_prints_rows(self, capsys, query_file, data_file):

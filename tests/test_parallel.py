@@ -1,0 +1,206 @@
+"""Tests for the process-pool parallel plan search (core.parallel).
+
+The contract under test is *equivalence*: the parallel paths must
+return bit-identical plan costs — and, for everything except
+``memo_hits``, bit-identical enumeration counters — to the serial
+optimizer, for every algorithm and seed.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    CartesianProductError,
+    PARALLELIZABLE_ALGORITHMS,
+    StatisticsCatalog,
+    default_jobs,
+    optimize,
+    optimize_many,
+    optimize_query_parallel,
+)
+from repro.core.plan_cache import PlanCache
+from repro.partitioning import HashSubjectObject, PathBMC
+from repro.sparql import parse_query
+from repro.workloads.generators import (
+    chain_query,
+    cycle_query,
+    dense_query,
+    star_query,
+    tree_query,
+)
+
+ALL_ALGORITHMS = ["td-cmd", "td-cmdp", "hgr-td-cmd", "td-auto"]
+
+
+def small_batch():
+    """A shape-diverse batch, small enough to optimize in milliseconds."""
+    return [
+        chain_query(5),
+        cycle_query(5),
+        star_query(4),
+        tree_query(6, random.Random(1)),
+        dense_query(6, random.Random(2)),
+    ]
+
+
+class TestOptimizeMany:
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    @pytest.mark.parametrize("seed", [0, 7, 2017])
+    def test_matches_serial_exactly(self, algorithm, seed):
+        """Pooled batch results == serial results, per query, bit for bit."""
+        queries = small_batch()
+        serial = [optimize(q, algorithm=algorithm, seed=seed) for q in queries]
+        batch = optimize_many(queries, algorithm=algorithm, jobs=2, seed=seed)
+        assert len(batch) == len(serial)
+        for expected, got in zip(serial, batch):
+            assert got.cost == expected.cost
+            assert got.stats.plans_considered == expected.stats.plans_considered
+            assert got.plan.describe() == expected.plan.describe()
+
+    def test_preserves_input_order(self):
+        queries = small_batch()
+        results = optimize_many(queries, algorithm="td-cmd", jobs=2)
+        for query, result in zip(queries, results):
+            serial = optimize(query, algorithm="td-cmd")
+            assert result.cost == serial.cost
+
+    def test_accepts_tuples_and_workload_records(self):
+        """Queries, (query, stats) pairs, and workload records all work."""
+        query = chain_query(4)
+        stats = StatisticsCatalog.from_random(query, random.Random(5))
+
+        class Record:
+            """Anything exposing .query/.statistics (e.g. WorkloadQuery)."""
+
+            def __init__(self, query, statistics):
+                self.query = query
+                self.statistics = statistics
+
+        items = [query, (query, stats), Record(query, stats)]
+        results = optimize_many(items, algorithm="td-cmd", jobs=1)
+        assert len(results) == 3
+        # items 1 and 2 share explicit statistics -> identical plans
+        assert results[1].cost == results[2].cost
+
+    def test_rejects_garbage_items(self):
+        with pytest.raises(TypeError):
+            optimize_many([42], jobs=1)
+
+    def test_jobs_one_skips_the_pool(self):
+        queries = small_batch()[:2]
+        results = optimize_many(queries, algorithm="td-cmdp", jobs=1)
+        for query, result in zip(queries, results):
+            assert result.cost == optimize(query, algorithm="td-cmdp").cost
+
+    def test_plan_cache_short_circuits_repeats(self):
+        queries = small_batch()[:3]
+        cache = PlanCache()
+        first = optimize_many(queries, algorithm="td-cmd", jobs=2, plan_cache=cache)
+        assert cache.stats.misses == len(queries)
+        assert cache.stats.stores == len(queries)
+        second = optimize_many(queries, algorithm="td-cmd", jobs=2, plan_cache=cache)
+        assert cache.stats.hits == len(queries)
+        for cold, warm in zip(first, second):
+            assert warm.cost == cold.cost
+            assert warm.algorithm.endswith("+cache")
+
+
+class TestIntraQueryParallel:
+    @pytest.mark.parametrize("algorithm", PARALLELIZABLE_ALGORITHMS)
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_matches_serial_exactly(self, algorithm, seed):
+        """Sliced root search == serial search: cost and every counter
+        except the traversal-dependent memo_hits."""
+        query = tree_query(9, random.Random(seed))
+        serial = optimize(query, algorithm=algorithm, seed=seed)
+        parallel = optimize_query_parallel(
+            query, algorithm=algorithm, jobs=3, seed=seed
+        )
+        assert parallel.cost == serial.cost
+        assert parallel.plan.describe() == serial.plan.describe()
+        assert parallel.stats.plans_considered == serial.stats.plans_considered
+        assert (
+            parallel.stats.divisions_enumerated
+            == serial.stats.divisions_enumerated
+        )
+        assert (
+            parallel.stats.subqueries_expanded == serial.stats.subqueries_expanded
+        )
+
+    def test_reports_worker_stats(self):
+        query = cycle_query(7)
+        result = optimize_query_parallel(query, algorithm="td-cmd", jobs=3)
+        assert result.stats.workers == 3
+        assert len(result.stats.per_worker_subqueries) == 3
+        assert len(result.stats.per_worker_seconds) == 3
+        assert all(n > 0 for n in result.stats.per_worker_subqueries)
+        assert result.stats.speedup > 0.0
+        assert "[parallel x3]" in result.algorithm
+
+    def test_partitioned_search_matches_serial(self):
+        """Local-query detection (Rule 2/3) survives the root slicing."""
+        query = star_query(5)
+        method = HashSubjectObject()
+        serial = optimize(query, algorithm="td-cmdp", partitioning=method)
+        parallel = optimize_query_parallel(
+            query, algorithm="td-cmdp", jobs=2, partitioning=method
+        )
+        assert parallel.cost == serial.cost
+        assert parallel.stats.plans_considered == serial.stats.plans_considered
+
+    def test_rule3_short_circuit_falls_back_to_serial(self):
+        """A root answered locally by Rule 3 has nothing to slice."""
+        query = chain_query(3)
+        method = PathBMC()  # chains are local under path partitioning
+        result = optimize_query_parallel(
+            query, algorithm="td-cmdp", jobs=4, partitioning=method
+        )
+        serial = optimize(query, algorithm="td-cmdp", partitioning=method)
+        assert result.cost == serial.cost
+        assert result.stats.workers == 1
+        assert "[parallel" not in result.algorithm
+
+    def test_jobs_capped_by_root_division_count(self):
+        """More workers than root divisions must not crash or distort."""
+        query = chain_query(3)  # tiny root division space
+        serial = optimize(query, algorithm="td-cmd")
+        result = optimize_query_parallel(query, algorithm="td-cmd", jobs=64)
+        assert result.cost == serial.cost
+        assert result.stats.plans_considered == serial.stats.plans_considered
+
+    def test_jobs_one_is_plain_serial(self):
+        query = cycle_query(5)
+        result = optimize_query_parallel(query, algorithm="td-cmd", jobs=1)
+        assert result.stats.workers == 1
+        assert "[parallel" not in result.algorithm
+
+    def test_unsupported_algorithm_rejected(self):
+        query = chain_query(4)
+        with pytest.raises(ValueError):
+            optimize_query_parallel(query, algorithm="hgr-td-cmd", jobs=2)
+
+    def test_disconnected_query_rejected(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <http://e/p> ?b . ?c <http://e/q> ?d . }"
+        )
+        with pytest.raises(CartesianProductError):
+            optimize_query_parallel(query, algorithm="td-cmd", jobs=2)
+
+
+class TestOptimizeEntryPoint:
+    def test_jobs_routes_parallelizable_algorithms(self):
+        query = cycle_query(6)
+        serial = optimize(query, algorithm="td-cmd")
+        parallel = optimize(query, algorithm="td-cmd", jobs=2)
+        assert "[parallel x2]" in parallel.algorithm
+        assert parallel.cost == serial.cost
+
+    def test_jobs_ignored_for_serial_only_algorithms(self):
+        query = cycle_query(6)
+        result = optimize(query, algorithm="hgr-td-cmd", jobs=4)
+        assert "[parallel" not in result.algorithm
+        assert result.cost == optimize(query, algorithm="hgr-td-cmd").cost
+
+    def test_default_jobs_is_positive(self):
+        assert default_jobs() >= 1
