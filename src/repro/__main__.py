@@ -16,6 +16,17 @@ Throughput flags: ``--jobs N`` splits the td-cmd/td-cmdp root division
 space across N worker processes; ``optimize --plan-cache PATH`` keeps a
 persistent cross-query plan cache at PATH, so repeating a query
 short-circuits enumeration entirely.
+
+Static analysis (see ``docs/ANALYSIS.md``)::
+
+    python -m repro lint src/repro
+    python -m repro verify-plan plan.json query.sparql
+    python -m repro optimize query.sparql --verify
+    python -m repro run query.sparql --data data.nt --verify
+
+``--verify`` runs the plan-invariant verifier on every emitted plan
+(including plan-cache hits, which are invalidated and re-optimized if
+the rebuilt plan fails) and, for ``run``, gates execution on it.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from .analysis import InvariantViolation
 from .core import StatisticsCatalog, optimize
 from .core.serialize import plan_to_dot, plan_to_json
 from .engine import Cluster, Executor
@@ -76,16 +88,22 @@ def cmd_optimize(args: argparse.Namespace) -> int:
 
         cache_path = Path(args.plan_cache)
         cache = PlanCache.load(cache_path) if cache_path.exists() else PlanCache()
-    result = optimize(
-        query,
-        algorithm=args.algorithm,
-        dataset=dataset,
-        partitioning=_partitioning(args.partitioning),
-        timeout_seconds=args.timeout,
-        seed=args.seed,
-        plan_cache=cache,
-        jobs=args.jobs,
-    )
+    try:
+        result = optimize(
+            query,
+            algorithm=args.algorithm,
+            dataset=dataset,
+            partitioning=_partitioning(args.partitioning),
+            timeout_seconds=args.timeout,
+            seed=args.seed,
+            plan_cache=cache,
+            jobs=args.jobs,
+            verify=args.verify,
+        )
+    except InvariantViolation as violation:
+        raise SystemExit(f"plan verification failed: {violation.describe()}")
+    if args.verify:
+        print("# verify: plan passed invariant verification", file=sys.stderr)
     print(
         f"# {result.algorithm}: cost={result.cost:.2f} "
         f"plans={result.stats.plans_considered} "
@@ -133,13 +151,29 @@ def cmd_run(args: argparse.Namespace) -> int:
     if dataset is None:
         raise SystemExit("run requires --data")
     method = _partitioning(args.partitioning) or HashSubjectObject()
-    result = optimize(
-        query,
-        algorithm=args.algorithm,
-        statistics=StatisticsCatalog.from_dataset(query, dataset),
-        partitioning=method,
-        timeout_seconds=args.timeout,
-    )
+    statistics = StatisticsCatalog.from_dataset(query, dataset)
+    try:
+        result = optimize(
+            query,
+            algorithm=args.algorithm,
+            statistics=statistics,
+            partitioning=method,
+            timeout_seconds=args.timeout,
+            verify=args.verify,
+        )
+    except InvariantViolation as violation:
+        raise SystemExit(f"plan verification failed: {violation.describe()}")
+    verifier = None
+    if args.verify:
+        from .analysis import PlanVerifier, VerificationContext, profile_for_algorithm
+
+        context = VerificationContext.for_query(
+            query, statistics=statistics, partitioning=method
+        )
+        verifier = PlanVerifier(
+            context.with_profile(profile_for_algorithm(result.algorithm))
+        )
+        print("# verify: plan passed invariant verification", file=sys.stderr)
     cluster = Cluster.build(dataset, method, cluster_size=args.workers)
     injector, policy = _fault_setup(args)
     if args.explain:
@@ -150,7 +184,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
         print(report.render(), file=sys.stderr)
     else:
-        executor = Executor(cluster, fault_injector=injector, retry_policy=policy)
+        executor = Executor(
+            cluster,
+            fault_injector=injector,
+            retry_policy=policy,
+            plan_verifier=verifier,
+        )
         relation, metrics = executor.execute(result.plan, query)
         for key, value in metrics.summary().items():
             print(f"# {key}: {value}", file=sys.stderr)
@@ -163,6 +202,37 @@ def cmd_run(args: argparse.Namespace) -> int:
     if len(relation) > args.limit:
         print(f"# ... {len(relation) - args.limit} more rows", file=sys.stderr)
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.lint import main as lint_main
+
+    return lint_main(args.paths, select=args.select)
+
+
+def cmd_verify_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import PlanVerifier, VerificationContext
+    from .core.serialize import plan_from_dict
+
+    query = _load_query(args.query)
+    data = json.loads(Path(args.plan).read_text(encoding="utf-8"))
+    try:
+        plan = plan_from_dict(data, query)
+    except (KeyError, ValueError, TypeError) as error:
+        raise SystemExit(f"cannot rebuild plan from {args.plan}: {error}")
+    context = VerificationContext.for_query(
+        query,
+        dataset=_load_dataset(args.data),
+        partitioning=_partitioning(args.partitioning),
+        algorithm=args.algorithm,
+        seed=args.seed,
+        structure_only=args.structure_only,
+    )
+    report = PlanVerifier(context).verify(plan)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -223,6 +293,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="optimizer worker processes (td-cmd/td-cmdp split their "
         "root division space across them; other algorithms run serially)",
     )
+    common.add_argument(
+        "--verify",
+        action="store_true",
+        help="run the plan-invariant verifier on every emitted plan "
+        "(cache hits are re-checked; corrupt entries become misses)",
+    )
 
     p_opt = sub.add_parser("optimize", parents=[common], help="optimize a query file")
     p_opt.add_argument("query")
@@ -266,6 +342,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry budget per operator before the run aborts (default 3)",
     )
     p_run.set_defaults(func=cmd_run)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the repo's determinism/correctness lint"
+    )
+    p_lint.add_argument("paths", nargs="+", help="files or directories to lint")
+    p_lint.add_argument(
+        "--select",
+        nargs="+",
+        metavar="CODE",
+        default=None,
+        help="restrict to specific rules (e.g. LINT001 LINT003)",
+    )
+    p_lint.set_defaults(func=cmd_lint)
+
+    p_verify = sub.add_parser(
+        "verify-plan", help="check a serialized plan against the paper invariants"
+    )
+    p_verify.add_argument("plan", help="plan JSON file (from optimize --json)")
+    p_verify.add_argument("query", help="the query the plan was optimized for")
+    p_verify.add_argument("--data", help="N-Triples file for statistics")
+    p_verify.add_argument(
+        "--partitioning", choices=sorted(PARTITIONINGS), default=None
+    )
+    p_verify.add_argument(
+        "--algorithm",
+        default=None,
+        help="algorithm label the plan came from (enables Rule-2 checks "
+        "for td-cmdp)",
+    )
+    p_verify.add_argument("--seed", type=int, default=0)
+    p_verify.add_argument(
+        "--structure-only",
+        action="store_true",
+        help="skip cost-model re-derivation (no statistics needed)",
+    )
+    p_verify.set_defaults(func=cmd_verify_plan)
 
     p_exp = sub.add_parser("experiments", help="regenerate a paper table/figure")
     p_exp.add_argument("name")

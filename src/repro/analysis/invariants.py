@@ -1,0 +1,158 @@
+"""The plan-invariant taxonomy: one named violation class per invariant.
+
+Every invariant the verifier checks encodes a specific guarantee of the
+paper (see ``docs/ANALYSIS.md`` for the full mapping):
+
+=========================  ======  ==============================================
+violation                  code    paper guarantee it encodes
+=========================  ======  ==============================================
+MalformedPlanNode          PV000   plans are labeled k-ary trees (Section II-D)
+DisconnectedDivision       PV001   every division part is connected
+                                   (Definition 3, Algorithms 2–3)
+OverlappingChildBitsets    PV002   division parts are a *partition*: disjoint
+                                   (Definition 3)
+ChildCoverageGap           PV003   division parts cover the parent exactly
+                                   (Definition 3)
+KAryBroadcast              PV004   broadcast joins are binary under TD-CMDP
+                                   (Rule 2, Section IV-A)
+NonCoLocatedLocalQuery     PV005   local joins only over subqueries contained in
+                                   a maximal local query (Theorem 5, Appendix A)
+CostMismatch               PV006   annotated cost/cardinality equal the cost
+                                   model re-derived from the tree (Eq. 3,
+                                   Tables I–II)
+VariableBindingViolation   PV007   the join variable binds consistently
+                                   bottom-up: every part of a distributed
+                                   division contains a pattern of Ntp(v_j)
+=========================  ======  ==============================================
+
+Violations are exceptions (so ``PlanVerifier.check`` can raise the
+first one found) but are normally *collected* into a
+:class:`VerificationReport`, which keeps all findings with node
+locations for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class InvariantViolation(Exception):
+    """Base class: a plan node breaking a structural invariant.
+
+    ``code`` identifies the invariant; ``bits`` locates the offending
+    node (the subquery bitset it claims to compute).
+    """
+
+    code: str = "PV???"
+    invariant: str = "unspecified plan invariant"
+
+    def __init__(self, message: str, bits: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.bits = bits
+
+    def describe(self) -> str:
+        """``code [bits]: message`` — the report line for this finding."""
+        location = f" [bits={self.bits:#x}]" if self.bits is not None else ""
+        return f"{self.code}{location}: {self}"
+
+
+class MalformedPlanNode(InvariantViolation):
+    """Not a labeled k-ary tree: bad arity, bad scan, unknown node type."""
+
+    code = "PV000"
+    invariant = "plans are labeled k-ary trees of scans and joins (Section II-D)"
+
+
+class DisconnectedDivision(InvariantViolation):
+    """A node's pattern bitset is not connected in the join graph."""
+
+    code = "PV001"
+    invariant = "every division part is connected (Definition 3, Algorithms 2-3)"
+
+
+class OverlappingChildBitsets(InvariantViolation):
+    """Two children of a join compute overlapping subqueries."""
+
+    code = "PV002"
+    invariant = "division parts are pairwise disjoint (Definition 3)"
+
+
+class ChildCoverageGap(InvariantViolation):
+    """A join's children do not cover its bitset exactly."""
+
+    code = "PV003"
+    invariant = "division parts cover the parent subquery exactly (Definition 3)"
+
+
+class KAryBroadcast(InvariantViolation):
+    """A k-ary (k > 2) broadcast join in a Rule-2 plan."""
+
+    code = "PV004"
+    invariant = "broadcast joins are binary under TD-CMDP (Rule 2, Section IV-A)"
+
+
+class NonCoLocatedLocalQuery(InvariantViolation):
+    """A local join over patterns the partitioning does not co-locate."""
+
+    code = "PV005"
+    invariant = (
+        "local joins only over subqueries contained in a maximal local "
+        "query of the configured partitioning (Theorem 5, Appendix A)"
+    )
+
+
+class CostMismatch(InvariantViolation):
+    """Annotated cost or cardinality disagrees with the cost model."""
+
+    code = "PV006"
+    invariant = (
+        "annotated cost/cardinality equal the Eq. 3 re-derivation from "
+        "the tree (Tables I-II)"
+    )
+
+
+class VariableBindingViolation(InvariantViolation):
+    """The join variable does not bind consistently bottom-up."""
+
+    code = "PV007"
+    invariant = (
+        "every part of a distributed division contains a pattern "
+        "adjacent to the join variable (Definition 3)"
+    )
+
+
+@dataclass
+class VerificationReport:
+    """All violations found in one plan, plus check bookkeeping."""
+
+    violations: List[InvariantViolation] = field(default_factory=list)
+    nodes_checked: int = 0
+    checks_run: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the plan satisfied every checked invariant."""
+        return not self.violations
+
+    def codes(self) -> Tuple[str, ...]:
+        """The distinct violation codes found, sorted."""
+        return tuple(sorted({v.code for v in self.violations}))
+
+    def raise_if_failed(self) -> None:
+        """Raise the first (most severe by code order) violation."""
+        if self.violations:
+            raise sorted(self.violations, key=lambda v: v.code)[0]
+
+    def render(self) -> str:
+        """Human-readable report text."""
+        head = (
+            f"plan verification: {'OK' if self.ok else 'FAILED'} "
+            f"({self.nodes_checked} nodes, {self.checks_run} checks, "
+            f"{self.elapsed_seconds * 1000:.2f} ms)"
+        )
+        if self.ok:
+            return head
+        body = "\n".join(f"  {v.describe()}" for v in self.violations)
+        return f"{head}\n{body}"

@@ -1,0 +1,30 @@
+"""AST-based lint with repo-specific determinism/correctness rules.
+
+Rules (see :mod:`.rules` for the full rationale):
+
+========  ========================================================
+LINT001   unordered set iteration in determinism-critical modules
+LINT002   unseeded ``random`` outside test code
+LINT003   float ``==`` / ``!=`` in cost/cardinality code
+LINT004   mutable default arguments
+========  ========================================================
+
+Suppress inline with ``# lint: disable=LINT001`` (comma-separate codes,
+or ``all``).  CLI: ``python -m repro lint src/repro``.
+"""
+
+from .diagnostics import Diagnostic, Severity, render_all
+from .rules import RULES, run_rules
+from .runner import check_source, iter_python_files, lint_paths, main
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "RULES",
+    "run_rules",
+    "check_source",
+    "iter_python_files",
+    "lint_paths",
+    "main",
+    "render_all",
+]

@@ -1,0 +1,102 @@
+"""Lint diagnostics: findings, severities, and inline suppression.
+
+Suppression is per-line: a trailing ``# lint: disable=LINT001`` comment
+silences that rule on that line (comma-separate several codes, or use
+``all``).  Suppressions are extracted from the token stream, so they
+work on any physical line, including continuation lines.
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List
+
+
+class Severity(enum.Enum):
+    """How bad a finding is (affects reporting, not the exit code)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding at one source location."""
+
+    path: str
+    line: int
+    column: int
+    code: str
+    severity: Severity
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: CODE severity: message`` (clickable)."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.code} {self.severity}: {self.message}"
+        )
+
+
+#: the sentinel accepted by ``# lint: disable=all`` (codes are
+#: uppercased during parsing, so the sentinel is stored uppercased too)
+DISABLE_ALL = "ALL"
+_MARKER = "lint:"
+
+
+def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number → codes disabled on that line.
+
+    Recognizes ``# lint: disable=CODE[,CODE...]`` comments; malformed
+    markers are ignored (a linter must not crash on odd comments).
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            text = token.string.lstrip("#").strip()
+            if not text.startswith(_MARKER):
+                continue
+            directive = text[len(_MARKER):].strip()
+            if not directive.startswith("disable="):
+                continue
+            # a justification may follow the codes: take the first
+            # whitespace-delimited token of each comma-separated piece
+            codes = frozenset(
+                piece.split()[0].upper()
+                for piece in directive[len("disable="):].split(",")
+                if piece.split()
+            )
+            if codes:
+                suppressions[token.start[0]] = codes
+    except tokenize.TokenError:
+        pass
+    return suppressions
+
+
+def is_suppressed(
+    diagnostic: Diagnostic, suppressions: Dict[int, FrozenSet[str]]
+) -> bool:
+    """Whether an inline directive on the finding's line silences it."""
+    codes = suppressions.get(diagnostic.line)
+    if codes is None:
+        return False
+    return DISABLE_ALL in codes or diagnostic.code in codes
+
+
+def sort_key(diagnostic: Diagnostic) -> tuple:
+    """Stable report order: path, then location, then code."""
+    return (diagnostic.path, diagnostic.line, diagnostic.column, diagnostic.code)
+
+
+def render_all(diagnostics: List[Diagnostic]) -> str:
+    """The full report, one line per finding, stable order."""
+    return "\n".join(d.render() for d in sorted(diagnostics, key=sort_key))

@@ -1,0 +1,94 @@
+"""The lint driver: files → findings → report + exit code.
+
+``check_source`` is the unit-test surface (lint a source string under a
+pretend path); ``lint_paths`` is what the CLI and CI call.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from .diagnostics import (
+    Diagnostic,
+    Severity,
+    is_suppressed,
+    parse_suppressions,
+    render_all,
+    sort_key,
+)
+from .rules import run_rules
+
+
+def check_source(
+    source: str, path: str, select: Optional[Iterable[str]] = None
+) -> List[Diagnostic]:
+    """Lint one source string as if it lived at *path*.
+
+    The path matters: rule scoping (determinism-critical modules, test
+    exemptions) is path-based.  Inline ``# lint: disable=`` suppressions
+    are honored.  A file that does not parse yields one ERROR finding
+    rather than crashing the run.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Diagnostic(
+                path=path,
+                line=error.lineno or 1,
+                column=(error.offset or 1),
+                code="LINT000",
+                severity=Severity.ERROR,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    findings = run_rules(tree, path, select)
+    if not findings:
+        return []
+    suppressions = parse_suppressions(source)
+    kept = [f for f in findings if not is_suppressed(f, suppressions)]
+    return sorted(kept, key=sort_key)
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                p
+                for p in path.rglob("*.py")
+                if not any(part.startswith(".") for part in p.parts)
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+    return sorted(set(files))
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]], select: Optional[Iterable[str]] = None
+) -> List[Diagnostic]:
+    """Lint every ``.py`` file under *paths*; findings in stable order."""
+    findings: List[Diagnostic] = []
+    for file in iter_python_files(paths):
+        findings.extend(
+            check_source(file.read_text(encoding="utf-8"), str(file), select)
+        )
+    return sorted(findings, key=sort_key)
+
+
+def main(paths: Sequence[str], select: Optional[Iterable[str]] = None) -> int:
+    """CLI entry: print findings, return 0 (clean) or 1 (findings)."""
+    findings = lint_paths(paths, select)
+    if findings:
+        print(render_all(findings))
+        errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+        warnings = len(findings) - errors
+        print(f"lint: {errors} error(s), {warnings} warning(s)")
+        return 1
+    files = len(iter_python_files(paths))
+    print(f"lint: {files} file(s) clean")
+    return 0

@@ -1,0 +1,449 @@
+"""Static plan-invariant verification (no execution required).
+
+:class:`PlanVerifier` walks an emitted plan tree and checks every
+invariant of :mod:`.invariants` against a :class:`VerificationContext`
+— the same (join graph, estimator, cost parameters, local-query index)
+quadruple the optimizer itself used.  Because the checks re-derive
+everything from the tree, the verifier catches plans corrupted *after*
+optimization: a plan-cache entry whose JSON was damaged on disk, a
+parallel-search merge that drifted from the serial cost, or a
+hand-constructed plan that skipped :class:`~repro.core.cost.PlanBuilder`.
+
+Typical use::
+
+    context = VerificationContext.for_query(query, statistics=stats,
+                                            partitioning=method)
+    report = PlanVerifier(context).verify(result.plan)
+    report.raise_if_failed()
+
+or, for a whole :class:`~repro.core.enumeration.OptimizationResult`
+(the Rule-2 profile is derived from the result's algorithm label)::
+
+    verify_result(result, context).raise_if_failed()
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..partitioning.base import PartitioningMethod
+from ..rdf.dataset import Dataset
+from ..sparql.ast import BGPQuery
+from ..core import bitset as bs
+from ..core.cardinality import CardinalityEstimator, StatisticsCatalog
+from ..core.cost import CostParameters, PAPER_PARAMETERS
+from ..core.enumeration import InvariantProfile, OptimizationResult
+from ..core.join_graph import JoinGraph
+from ..core.local_query import LocalQueryIndex
+from ..core.plans import JoinAlgorithm, JoinNode, PlanNode, ScanNode
+from .invariants import (
+    ChildCoverageGap,
+    CostMismatch,
+    DisconnectedDivision,
+    InvariantViolation,
+    KAryBroadcast,
+    MalformedPlanNode,
+    NonCoLocatedLocalQuery,
+    OverlappingChildBitsets,
+    VariableBindingViolation,
+    VerificationReport,
+)
+
+#: tolerances for re-derived float comparisons.  The re-derivation runs
+#: the identical arithmetic as PlanBuilder, so in practice the match is
+#: exact; the tolerance only absorbs serialization round-trips.
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+
+def profile_for_algorithm(algorithm: str) -> InvariantProfile:
+    """The invariant profile an algorithm label promises.
+
+    Labels are matched by substring because the optimizer decorates
+    them: ``"TD-Auto[TD-CMDP]"``, ``"TD-CMDP[parallel x4]"``, and
+    ``"td-cmdp+cache"`` all promise the TD-CMDP pruning rules.
+    """
+    name = algorithm.lower()
+    pruned = "td-cmdp" in name
+    return InvariantProfile(broadcast_binary_only=pruned, local_flat_only=pruned)
+
+
+@dataclass(frozen=True)
+class VerificationContext:
+    """Everything a plan's invariants are checked *against*.
+
+    ``estimator`` / ``parameters`` may be ``None``, which skips the
+    cost-model re-derivation (PV006) and checks structure only — the
+    mode the CLI's ``verify-plan --structure-only`` uses when no
+    statistics are available for a serialized plan.
+    """
+
+    join_graph: JoinGraph
+    local_index: LocalQueryIndex
+    estimator: Optional[CardinalityEstimator] = None
+    parameters: Optional[CostParameters] = None
+    profile: InvariantProfile = InvariantProfile()
+
+    @classmethod
+    def for_query(
+        cls,
+        query: BGPQuery,
+        statistics: Optional[StatisticsCatalog] = None,
+        dataset: Optional[Dataset] = None,
+        partitioning: Optional[PartitioningMethod] = None,
+        parameters: Optional[CostParameters] = PAPER_PARAMETERS,
+        algorithm: Optional[str] = None,
+        seed: int = 0,
+        structure_only: bool = False,
+    ) -> "VerificationContext":
+        """Build a context the way :func:`repro.core.optimize` would.
+
+        Statistics resolve explicit > dataset > seeded-random, exactly
+        matching the optimizer, so a verifier-clean plan is guaranteed
+        to have been priced by the same model it is checked against.
+        """
+        from ..core.optimizer import resolve_statistics
+
+        join_graph = JoinGraph(query)
+        local_index = LocalQueryIndex(join_graph, partitioning)
+        estimator: Optional[CardinalityEstimator] = None
+        if not structure_only:
+            catalog = resolve_statistics(query, statistics, dataset, seed)
+            estimator = CardinalityEstimator(join_graph, catalog)
+        profile = (
+            profile_for_algorithm(algorithm) if algorithm else InvariantProfile()
+        )
+        return cls(
+            join_graph=join_graph,
+            local_index=local_index,
+            estimator=estimator,
+            parameters=None if structure_only else parameters,
+            profile=profile,
+        )
+
+    def with_profile(self, profile: InvariantProfile) -> "VerificationContext":
+        """The same context under a different invariant profile."""
+        return dataclasses.replace(self, profile=profile)
+
+
+class PlanVerifier:
+    """Checks one plan tree against one :class:`VerificationContext`."""
+
+    def __init__(self, context: VerificationContext) -> None:
+        self.context = context
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def verify(
+        self, plan: PlanNode, expected_bits: Optional[int] = None
+    ) -> VerificationReport:
+        """Collect every violation into a :class:`VerificationReport`."""
+        started = time.perf_counter()
+        report = VerificationReport()
+        root_bits = (
+            expected_bits if expected_bits is not None else self.context.join_graph.full
+        )
+        if plan.bits != root_bits:
+            report.checks_run += 1
+            report.violations.append(
+                MalformedPlanNode(
+                    f"root covers bitset {plan.bits:#x}, expected {root_bits:#x}",
+                    bits=plan.bits,
+                )
+            )
+        for node in plan.walk():
+            report.nodes_checked += 1
+            self._check_node(node, report)
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    def check(self, plan: PlanNode, expected_bits: Optional[int] = None) -> None:
+        """Raise the most severe violation, or return silently."""
+        self.verify(plan, expected_bits).raise_if_failed()
+
+    # ------------------------------------------------------------------
+    # per-node checks
+    # ------------------------------------------------------------------
+    def _check_node(self, node: PlanNode, report: VerificationReport) -> None:
+        checks: List[InvariantViolation] = []
+        if isinstance(node, ScanNode):
+            self._check_scan(node, checks, report)
+        elif isinstance(node, JoinNode):
+            self._check_join(node, checks, report)
+        else:
+            report.checks_run += 1
+            checks.append(
+                MalformedPlanNode(
+                    f"unknown plan node type {type(node).__name__}", bits=node.bits
+                )
+            )
+        report.violations.extend(checks)
+
+    def _check_scan(
+        self, node: ScanNode, out: List[InvariantViolation], report: VerificationReport
+    ) -> None:
+        graph = self.context.join_graph
+        report.checks_run += 1
+        if bs.popcount(node.bits) != 1:
+            out.append(
+                MalformedPlanNode(
+                    f"scan covers {bs.popcount(node.bits)} patterns, expected 1",
+                    bits=node.bits,
+                )
+            )
+            return
+        report.checks_run += 1
+        index = bs.lowest_index(node.bits)
+        if node.pattern_index != index:
+            out.append(
+                MalformedPlanNode(
+                    f"scan pattern_index {node.pattern_index} does not match "
+                    f"bitset index {index}",
+                    bits=node.bits,
+                )
+            )
+            return
+        report.checks_run += 1
+        if index >= graph.size:
+            out.append(
+                MalformedPlanNode(
+                    f"scan pattern index {index} beyond query size {graph.size}",
+                    bits=node.bits,
+                )
+            )
+            return
+        estimator = self.context.estimator
+        if estimator is not None:
+            report.checks_run += 1
+            expected_card = estimator.pattern_cardinality(index)
+            if not _close(node.cardinality, expected_card):
+                out.append(
+                    CostMismatch(
+                        f"scan[{index}] cardinality {node.cardinality!r} != "
+                        f"estimator's {expected_card!r}",
+                        bits=node.bits,
+                    )
+                )
+            report.checks_run += 1
+            if not _close(node.cost, 0.0):
+                out.append(
+                    CostMismatch(
+                        f"scan[{index}] cost {node.cost!r} != 0.0 "
+                        "(scans are free; operators charge I/O)",
+                        bits=node.bits,
+                    )
+                )
+
+    def _check_join(
+        self, node: JoinNode, out: List[InvariantViolation], report: VerificationReport
+    ) -> None:
+        graph = self.context.join_graph
+        # -- PV000: k-ary tree shape -----------------------------------
+        report.checks_run += 1
+        if node.arity < 2:
+            out.append(
+                MalformedPlanNode(
+                    f"join with arity {node.arity} (needs >= 2)", bits=node.bits
+                )
+            )
+            return
+        # -- PV002 / PV003: disjoint exact cover (Definition 3) --------
+        report.checks_run += 1
+        union = 0
+        overlapped = False
+        for child in node.children:
+            if union & child.bits:
+                overlapped = True
+                out.append(
+                    OverlappingChildBitsets(
+                        f"child {child.bits:#x} overlaps siblings "
+                        f"{union & child.bits:#x}",
+                        bits=node.bits,
+                    )
+                )
+            union |= child.bits
+        report.checks_run += 1
+        if not overlapped and union != node.bits:
+            missing = node.bits & ~union
+            extra = union & ~node.bits
+            detail = []
+            if missing:
+                detail.append(f"missing {missing:#x}")
+            if extra:
+                detail.append(f"extra {extra:#x}")
+            out.append(
+                ChildCoverageGap(
+                    f"children cover {union:#x}, parent claims {node.bits:#x} "
+                    f"({', '.join(detail)})",
+                    bits=node.bits,
+                )
+            )
+        # -- PV001: connectivity (Definition 3, Algorithms 2-3) --------
+        report.checks_run += 1
+        if not graph.is_connected(node.bits):
+            out.append(
+                DisconnectedDivision(
+                    f"subquery {node.bits:#x} is not connected in the join graph",
+                    bits=node.bits,
+                )
+            )
+        for child in node.children:
+            report.checks_run += 1
+            if not graph.is_connected(child.bits):
+                out.append(
+                    DisconnectedDivision(
+                        f"division part {child.bits:#x} is not connected",
+                        bits=node.bits,
+                    )
+                )
+        # -- PV004: Rule 2 (broadcast binary-only under TD-CMDP) -------
+        if self.context.profile.broadcast_binary_only:
+            report.checks_run += 1
+            if node.algorithm is JoinAlgorithm.BROADCAST and node.arity > 2:
+                out.append(
+                    KAryBroadcast(
+                        f"{node.arity}-ary broadcast join in a Rule-2 plan",
+                        bits=node.bits,
+                    )
+                )
+        # -- PV005: local joins over co-located patterns only ----------
+        if node.algorithm is JoinAlgorithm.LOCAL:
+            report.checks_run += 1
+            if not self.context.local_index.is_local(node.bits):
+                out.append(
+                    NonCoLocatedLocalQuery(
+                        f"local join over {node.bits:#x}, which is not contained "
+                        "in any maximal local query of the partitioning",
+                        bits=node.bits,
+                    )
+                )
+        # -- PV007: the join variable binds bottom-up ------------------
+        self._check_join_variable(node, out, report)
+        # -- PV006: cost model agreement (Eq. 3, Tables I-II) ----------
+        self._check_cost(node, out, report)
+
+    def _check_join_variable(
+        self, node: JoinNode, out: List[InvariantViolation], report: VerificationReport
+    ) -> None:
+        graph = self.context.join_graph
+        variable = node.join_variable
+        distributed = node.algorithm in (
+            JoinAlgorithm.BROADCAST,
+            JoinAlgorithm.REPARTITION,
+        )
+        if variable is None:
+            # Distributed joins come from divisions around a concrete
+            # join variable (Definition 3); a missing label means the
+            # plan did not come out of cmd enumeration.
+            if distributed:
+                report.checks_run += 1
+                out.append(
+                    VariableBindingViolation(
+                        "distributed join without a join variable", bits=node.bits
+                    )
+                )
+            return
+        report.checks_run += 1
+        if variable not in graph.join_variables:
+            out.append(
+                VariableBindingViolation(
+                    f"join variable {variable} is not a join variable of the query",
+                    bits=node.bits,
+                )
+            )
+            return
+        ntp = graph.ntp(variable)
+        if distributed:
+            # Every division part must contain a pattern of Ntp(v_j),
+            # otherwise joining the parts on v_j is a Cartesian product.
+            for child in node.children:
+                report.checks_run += 1
+                if ntp & child.bits == 0:
+                    out.append(
+                        VariableBindingViolation(
+                            f"division part {child.bits:#x} contains no pattern "
+                            f"binding the join variable {variable}",
+                            bits=node.bits,
+                        )
+                    )
+        else:
+            # A flat local join labels *one* shared variable; it must be
+            # shared by at least two of the joined patterns.
+            report.checks_run += 1
+            if bs.popcount(ntp & node.bits) < 2:
+                out.append(
+                    VariableBindingViolation(
+                        f"local join labeled with {variable}, which is shared by "
+                        f"fewer than two of its patterns",
+                        bits=node.bits,
+                    )
+                )
+
+    def _check_cost(
+        self, node: JoinNode, out: List[InvariantViolation], report: VerificationReport
+    ) -> None:
+        estimator = self.context.estimator
+        parameters = self.context.parameters
+        if estimator is None or parameters is None:
+            return
+        report.checks_run += 1
+        expected_card = estimator.cardinality(node.bits)
+        if not _close(node.cardinality, expected_card):
+            out.append(
+                CostMismatch(
+                    f"cardinality {node.cardinality!r} != estimator's "
+                    f"{expected_card!r}",
+                    bits=node.bits,
+                )
+            )
+        inputs = [child.cardinality for child in node.children]
+        if not inputs:
+            return
+        report.checks_run += 1
+        expected_op = parameters.operator_cost(node.algorithm, inputs, expected_card)
+        if not _close(node.operator_cost, expected_op):
+            out.append(
+                CostMismatch(
+                    f"operator cost {node.operator_cost!r} != Table I "
+                    f"re-derivation {expected_op!r}",
+                    bits=node.bits,
+                )
+            )
+        # Eq. 3: children run concurrently — the plan costs the most
+        # expensive child plus this operator.  Children's *stored* costs
+        # are used so one corrupted node yields one finding, not a
+        # cascade up the tree.
+        report.checks_run += 1
+        expected_total = max(child.cost for child in node.children) + expected_op
+        if not _close(node.cost, expected_total):
+            out.append(
+                CostMismatch(
+                    f"plan cost {node.cost!r} != Eq. 3 re-derivation "
+                    f"{expected_total!r}",
+                    bits=node.bits,
+                )
+            )
+
+
+def verify_result(
+    result: OptimizationResult,
+    context: VerificationContext,
+    expected_bits: Optional[int] = None,
+) -> VerificationReport:
+    """Verify an :class:`OptimizationResult` end to end.
+
+    The Rule-2 profile is derived from the result's algorithm label (so
+    ``"TD-CMDP[parallel x4]"`` and ``"td-cmdp+cache"`` are held to the
+    pruned invariants automatically), overriding the context's profile.
+    """
+    profiled = context.with_profile(profile_for_algorithm(result.algorithm))
+    return PlanVerifier(profiled).verify(result.plan, expected_bits)
+
+
+def _close(actual: float, expected: float) -> bool:
+    return math.isclose(actual, expected, rel_tol=REL_TOL, abs_tol=ABS_TOL)

@@ -33,7 +33,7 @@ def to_indices(bits: int) -> List[int]:
     the highest set bit — the enumeration algorithms call this on sparse
     bitsets constantly, so the difference is a measured hot path.
     """
-    result = []
+    result: List[int] = []
     while bits:
         low = bits & -bits
         result.append(low.bit_length() - 1)

@@ -154,7 +154,10 @@ class StatisticsCatalog:
         entries = [
             PatternStatistics(
                 cardinality=cardinality,
-                bindings={v: cardinality for v in tp.variables()},
+                bindings={
+                    v: cardinality
+                    for v in sorted(tp.variables(), key=lambda v: v.name)
+                },
             )
             for tp in query
         ]
@@ -230,9 +233,12 @@ class CardinalityEstimator:
             first_index = pending.pop()
             first = self.catalog[first_index]
             card = first.cardinality
+            first_vars = sorted(
+                self.join_graph.patterns[first_index].variables(),
+                key=lambda v: v.name,
+            )
             bindings: Dict[Variable, float] = {
-                v: first.binding_count(v)
-                for v in self.join_graph.patterns[first_index].variables()
+                v: first.binding_count(v) for v in first_vars
             }
             rest = 1 << first_index
             self._cache[rest] = (card, bindings)
@@ -253,7 +259,7 @@ class CardinalityEstimator:
                 denominator *= max(bindings[v], stats.binding_count(v))
             card = card * stats.cardinality / denominator
             card = max(card, 1.0)
-            for v in pattern.variables():
+            for v in sorted(pattern.variables(), key=lambda v: v.name):
                 b = stats.binding_count(v)
                 bindings[v] = min(bindings.get(v, b), b)
             rest |= 1 << index

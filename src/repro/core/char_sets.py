@@ -58,7 +58,7 @@ class CharacteristicSets:
         for predicates, subjects in grouped.items():
             counts: Dict[Term, int] = Counter()
             for subject in subjects:
-                for predicate in predicates:
+                for predicate in sorted(predicates, key=str):
                     counts[predicate] += triple_counts[(subject, predicate)]
             self.sets.append(
                 CharacteristicSet(
@@ -84,7 +84,9 @@ class CharacteristicSets:
             if not predicates <= cs.predicates:
                 continue
             contribution = float(cs.subjects)
-            for predicate in predicates:
+            # sorted: the float product must be bit-identical across
+            # processes (frozenset order follows the hash seed)
+            for predicate in sorted(predicates, key=str):
                 contribution *= cs.predicate_counts[predicate] / cs.subjects
             total += contribution
         return total

@@ -274,7 +274,7 @@ def brute_force_cbds(
     if bs.popcount(ntp) < 2:
         return []
     anchor = bs.lowest_bit(ntp)
-    results = []
+    results: List[Tuple[int, int]] = []
     for subset in bs.iter_proper_nonempty_subsets(bits):
         if not subset & anchor:
             continue

@@ -38,6 +38,24 @@ class CartesianProductError(ValueError):
     """Raised for disconnected queries: no Cartesian-product-free plan."""
 
 
+@dataclass(frozen=True)
+class InvariantProfile:
+    """Which *optional* plan invariants an algorithm's plans satisfy.
+
+    The structural invariants of Section II-D (connectivity, disjoint
+    exact cover, cost-model agreement) hold for every algorithm; this
+    profile records the pruning-rule guarantees that depend on the
+    variant, so the plan verifier knows what it may assert.
+    """
+
+    #: Rule 2 (Section IV-A): broadcast joins are binary-only.
+    broadcast_binary_only: bool = False
+    #: Rule 3 (Section IV-A): local subqueries are planned as the flat
+    #: local join (every local join's children are scans anyway, so this
+    #: is informational rather than an extra check).
+    local_flat_only: bool = False
+
+
 @dataclass
 class SubqueryRecord:
     """Exclusive per-subquery counters from one ``BestPlanGen`` call.
@@ -122,6 +140,14 @@ class TopDownEnumerator:
         self._memo: Dict[int, PlanNode] = {}
         self._deadline: Optional[float] = None
 
+    def invariant_profile(self) -> InvariantProfile:
+        """The optional invariants this enumerator's plans satisfy.
+
+        TD-CMD prunes nothing, so its plans promise only the universal
+        structural invariants (an empty profile).
+        """
+        return InvariantProfile()
+
     # ------------------------------------------------------------------
     # entry point
     # ------------------------------------------------------------------
@@ -186,7 +212,9 @@ class TopDownEnumerator:
         parameters = self.builder.parameters
         output_cardinality = self.builder.estimator.cardinality(bits)
         best_cost = best.cost if best is not None else float("inf")
-        best_choice = None  # (operator, children, variable)
+        best_choice: Optional[
+            Tuple[JoinAlgorithm, List[PlanNode], Optional[Variable]]
+        ] = None
         deadline_tick = 0
         for parts, variable, operators in self.divisions(bits):
             record.divisions_enumerated += 1

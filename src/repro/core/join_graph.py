@@ -62,7 +62,7 @@ class JoinGraph:
         for i, tp in enumerate(self.patterns):
             jvars = frozenset(v for v in tp.variables() if v in join_var_set)
             self._pattern_vars.append(jvars)
-            for v in jvars:
+            for v in sorted(jvars, key=lambda v: v.name):
                 self._ntp[self._var_index[v]] |= bs.bit(i)
         # pattern adjacency (shared join variable)
         self._adj: List[int] = [0] * self.size
@@ -241,7 +241,7 @@ class JoinGraph:
             return QueryShape.SINGLE
         if len(self.join_variables) == 1 and self.ntp(self.join_variables[0]) == self.full:
             variable = self.join_variables[0]
-            roles = set()
+            roles: Set[str] = set()
             for tp in self.patterns:
                 if tp.subject == variable:
                     roles.add("s")

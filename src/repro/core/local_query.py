@@ -13,7 +13,7 @@ default (every multi-pattern join is distributed).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from ..partitioning.base import PartitioningMethod
 from . import bitset as bs
@@ -32,7 +32,7 @@ class LocalQueryIndex:
         self.partitioning = partitioning
         self._mlq_bits: List[int] = []
         if partitioning is not None:
-            seen = set()
+            seen: Set[int] = set()
             for mlq in partitioning.maximal_local_queries(join_graph.query):
                 bits = join_graph.bits_of(list(mlq))
                 if bits and bits not in seen:

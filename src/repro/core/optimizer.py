@@ -86,6 +86,7 @@ def optimize(
     seed: int = 0,
     plan_cache: Optional[PlanCache] = None,
     jobs: int = 1,
+    verify: bool = False,
 ) -> OptimizationResult:
     """Optimize a BGP query into a k-ary bushy plan.
 
@@ -113,6 +114,12 @@ def optimize(
         With ``jobs > 1`` and a parallelizable algorithm (``td-cmd`` /
         ``td-cmdp``), the root division space is split across worker
         processes (see :mod:`.parallel`); other algorithms run serially.
+    verify:
+        Run the plan-invariant verifier (:mod:`repro.analysis`) on
+        every returned plan.  A fresh result that fails raises the
+        violation; a *cached* plan that fails is invalidated and
+        treated as a miss (the query is re-optimized and the fresh,
+        verified plan replaces the corrupt entry).
     """
     key = algorithm.lower()
     if key not in ALGORITHMS:
@@ -120,10 +127,30 @@ def optimize(
             f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
         )
     statistics = resolve_statistics(query, statistics, dataset, seed)
+    context = None
+    if verify:
+        # imported lazily: repro.analysis depends on this module
+        from ..analysis import VerificationContext
+
+        context = VerificationContext.for_query(
+            query,
+            statistics=statistics,
+            partitioning=partitioning,
+            parameters=parameters,
+            seed=seed,
+        )
     if plan_cache is not None:
         cached = plan_cache.lookup(query, statistics, key, parameters, partitioning)
         if cached is not None:
-            return cached
+            if context is None:
+                return cached
+            from ..analysis import verify_result
+
+            if verify_result(cached, context).ok:
+                return cached
+            # corrupt rebuild: drop the entry and fall through to a
+            # fresh optimization, exactly as if the lookup had missed
+            plan_cache.invalidate(query, statistics, key, parameters, partitioning)
     if jobs > 1 and key in PARALLELIZABLE_ALGORITHMS:
         from .parallel import optimize_query_parallel
 
@@ -146,6 +173,10 @@ def optimize(
             timeout_seconds=timeout_seconds,
         )
         result = implementation.optimize()
+    if context is not None:
+        from ..analysis import verify_result
+
+        verify_result(result, context).raise_if_failed()
     if plan_cache is not None:
         plan_cache.store(query, statistics, key, result, parameters, partitioning)
     return result

@@ -34,10 +34,11 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..partitioning.base import PartitioningMethod
 from ..rdf.dataset import Dataset
+from ..rdf.terms import Variable
 from ..sparql.ast import BGPQuery
 from .cardinality import StatisticsCatalog
 from .cost import CostParameters, PAPER_PARAMETERS
@@ -56,6 +57,7 @@ from .optimizer import (
     resolve_statistics,
 )
 from .plan_cache import PlanCache
+from .plans import JoinAlgorithm
 from .pruning import PrunedTopDownEnumerator
 
 #: one optimization request: a query, optionally paired with statistics
@@ -85,7 +87,9 @@ class _RootSliceMixin:
     slice_index: int = 0
     slice_count: int = 1
 
-    def divisions(self, bits):
+    def divisions(
+        self, bits: int
+    ) -> Iterator[Tuple[Tuple[int, ...], Variable, Sequence[JoinAlgorithm]]]:
         iterator = super().divisions(bits)  # type: ignore[misc]
         if bits != self.join_graph.full or self.slice_count <= 1:
             yield from iterator

@@ -33,7 +33,7 @@ import time
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..partitioning.base import PartitioningMethod
 from ..rdf.terms import Variable
@@ -72,7 +72,7 @@ def query_signature(
     the mapping is needed again to canonicalize or restore plans.
     """
     mapping = canonical_variable_map(query)
-    patterns = []
+    patterns: List[Dict[str, Any]] = []
     for index, tp in enumerate(query):
         terms = [
             f"?{mapping[term.name]}" if isinstance(term, Variable) else str(term)
@@ -118,6 +118,8 @@ class PlanCacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    #: entries dropped because a rebuilt plan failed verification
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -220,6 +222,33 @@ class PlanCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
         return key
+
+    def invalidate(
+        self,
+        query: BGPQuery,
+        statistics: StatisticsCatalog,
+        algorithm: str,
+        parameters: CostParameters = PAPER_PARAMETERS,
+        partitioning: Optional[PartitioningMethod] = None,
+    ) -> bool:
+        """Drop the entry for this call, if any.
+
+        The ``--verify`` path uses this when a rebuilt cached plan fails
+        invariant verification: the corrupt entry is removed so the
+        lookup behaves as a miss and a fresh optimization replaces it.
+        """
+        key, _ = query_signature(
+            query, statistics, algorithm, parameters, partitioning
+        )
+        return self.invalidate_key(key)
+
+    def invalidate_key(self, key: str) -> bool:
+        """Drop one entry by cache key; return whether it existed."""
+        if key in self._entries:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # persistence (the CLI keeps the cache warm across processes)

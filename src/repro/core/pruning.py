@@ -26,7 +26,7 @@ from ..rdf.terms import Variable
 from . import bitset as bs
 from .cmd import enumerate_cbds, enumerate_ccmds, enumerate_cmds
 from .cost import PlanBuilder
-from .enumeration import TopDownEnumerator
+from .enumeration import InvariantProfile, TopDownEnumerator
 from .join_graph import JoinGraph
 from .local_query import LocalQueryIndex
 from .plans import JoinAlgorithm
@@ -52,6 +52,13 @@ class PrunedTopDownEnumerator(TopDownEnumerator):
         self.rule1_ccmd_only = rule1_ccmd_only
         self.rule2_binary_broadcast = rule2_binary_broadcast
         self.local_short_circuit = rule3_local_short_circuit  # Rule 3
+
+    def invariant_profile(self) -> InvariantProfile:
+        """The invariants promised by the rules currently switched on."""
+        return InvariantProfile(
+            broadcast_binary_only=self.rule2_binary_broadcast,
+            local_flat_only=self.local_short_circuit,
+        )
 
     def divisions(
         self, bits: int

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Set, Tuple
 
 from ..rdf.terms import Variable
 from ..sparql.ast import BGPQuery
@@ -72,7 +72,7 @@ def candidate_local_queries(
     them local), except that oversized MLQs contribute themselves and
     their patterns only; plus every singleton, so a cover always exists.
     """
-    candidates = set()
+    candidates: Set[int] = set()
     for mlq in local_index.maximal_local_queries:
         if bs.popcount(mlq) <= limit:
             candidates.update(connected_subqueries(join_graph, mlq))
@@ -101,16 +101,16 @@ def greedy_join_graph_reduction(
     picked: List[int] = []
     while uncovered:
         best = None
-        best_ratio = float("inf")
+        # (ratio, bitset) lexicographic: cheapest ratio wins, exact
+        # ratio ties break toward the smaller bitset (deterministic)
+        best_key = (float("inf"), -1)
         for candidate in candidates:
             gain = bs.popcount(candidate & uncovered)
             if gain == 0:
                 continue
             ratio = weights[candidate] / gain
-            if ratio < best_ratio or (
-                ratio == best_ratio and best is not None and candidate < best
-            ):
-                best_ratio = ratio
+            if (ratio, candidate) < best_key:
+                best_key = (ratio, candidate)
                 best = candidate
         assert best is not None, "singletons guarantee a cover"
         picked.append(best)
@@ -145,11 +145,12 @@ def build_reduced_problem(
     ]
     reduced_query = BGPQuery(super_patterns, name=f"{join_graph.query.name}:reduced")
     reduced_graph = JoinGraph(reduced_query)
-    entries = []
+    entries: List[PatternStatistics] = []
     for part in parts:
         card = estimator.cardinality(part)
         bindings = {
-            v: estimator.bindings(part, v) for v in join_graph.variables_of(part)
+            v: estimator.bindings(part, v)
+            for v in sorted(join_graph.variables_of(part), key=lambda v: v.name)
         }
         entries.append(PatternStatistics(cardinality=card, bindings=bindings))
     catalog = StatisticsCatalog(reduced_query, entries)

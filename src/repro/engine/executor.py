@@ -28,7 +28,10 @@ executor takes exactly the historical zero-overhead path.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis → core)
+    from ..analysis.plan_verifier import PlanVerifier
 
 from ..core.cost import CostParameters, PAPER_PARAMETERS
 from ..core.plans import JoinAlgorithm, JoinNode, PlanNode, ScanNode
@@ -62,11 +65,15 @@ class Executor:
         parameters: CostParameters = PAPER_PARAMETERS,
         fault_injector: Optional[FaultInjector] = None,
         retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+        plan_verifier: Optional["PlanVerifier"] = None,
     ) -> None:
         self.cluster = cluster
         self.parameters = parameters
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy
+        #: optional pre-execution gate: a plan failing invariant
+        #: verification raises before any operator runs (``--verify``)
+        self.plan_verifier = plan_verifier
         self._recovery: Optional[RecoveryManager] = None
         #: distributed relations computed but not yet consumed; a
         #: fail-stop migrates the dead worker's slice in each of them
@@ -83,6 +90,8 @@ class Executor:
         When *query* is given and has a projection, the final relation
         is projected onto it.
         """
+        if self.plan_verifier is not None:
+            self.plan_verifier.check(plan)
         metrics = ExecutionMetrics()
         if self.fault_injector is not None and self.fault_injector.active:
             self.fault_injector.reset()  # replay from the seed every run

@@ -73,8 +73,12 @@ class PartitioningMethod(abc.ABC):
         """The partitioning element ``e_v`` anchored at *vertex* (Eq. 1)."""
 
     def anchors(self, graph: RDFGraph) -> Iterable[Term]:
-        """Vertices at which elements are anchored (default: all of V_R)."""
-        return graph.vertices
+        """Vertices at which elements are anchored (default: all of V_R).
+
+        Sorted so the element map is built in the same order in every
+        process (``vertices`` is a set).
+        """
+        return sorted(graph.vertices, key=str)
 
     @abc.abstractmethod
     def distribute(
@@ -128,14 +132,16 @@ class PartitioningMethod(abc.ABC):
             mlq = self.combine_query(vertex, query_graph)
             if mlq:
                 candidates.add(mlq)
+        # deterministic order first (largest, then lexicographic), then
         # drop candidates strictly contained in others
-        maximal = [
+        ordered = sorted(
+            candidates, key=lambda s: (-len(s), sorted(str(tp) for tp in s))
+        )
+        return [
             c
-            for c in candidates
+            for c in ordered
             if not any(c < other for other in candidates)
         ]
-        maximal.sort(key=lambda s: (-len(s), sorted(str(tp) for tp in s)))
-        return maximal
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

@@ -35,7 +35,9 @@ def _connected_pattern_sets(
     patterns: Iterable[TriplePattern],
 ) -> List[FrozenSet[TriplePattern]]:
     """Split a pattern set into connected components (shared variables)."""
-    remaining = list(patterns)
+    # sorted: callers pass sets, and component order decides tie-breaks
+    # in combine_query — it must not follow the per-process hash seed
+    remaining = sorted(patterns, key=str)
     components: List[FrozenSet[TriplePattern]] = []
     while remaining:
         component = {remaining.pop()}

@@ -36,7 +36,11 @@ class PathBMC(PartitioningMethod):
     name = "path-bmc"
 
     def anchors(self, graph: RDFGraph) -> List[Term]:
-        starts = [v for v in graph.vertices if not graph.in_edges(v)]
+        # sorted: ``vertices`` is a set; anchor order must not follow
+        # the per-process hash seed
+        starts = sorted(
+            (v for v in graph.vertices if not graph.in_edges(v)), key=str
+        )
         covered: Set[Triple] = set()
         for v in starts:
             covered.update(self._reachable(v, graph))

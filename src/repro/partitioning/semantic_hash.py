@@ -31,7 +31,8 @@ class SemanticHash(PartitioningMethod):
         frontier: Set[Term] = {vertex}
         for _ in range(self.hops):
             next_frontier: Set[Term] = set()
-            for v in frontier:
+            # set-to-set growth: only membership of the result matters
+            for v in frontier:  # lint: disable=LINT001 order-insensitive
                 for t in graph.out_edges(v):
                     if t not in element:
                         element.add(t)
