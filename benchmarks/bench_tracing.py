@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Tracer overhead benchmark: what does ``trace=True`` cost?
+
+Runs the paper's 15-query sweep (LUBM L1–L10, UniProt U1–U5, exact
+dataset statistics) three ways and writes ``BENCH_tracing.json``:
+
+* **disabled** — a plain session (``trace=False``); instrumentation
+  sites hit the no-op path (one context-variable read per phase);
+* **enabled** — a traced session; every call records the full span
+  tree plus the metrics registry;
+* **gate** — aggregate minimum-of-repetitions wall-clock enabled vs
+  disabled must stay under ``--max-overhead`` (default 5%).
+
+Per-query timing takes the *minimum* over ``--reps`` repetitions (the
+standard way to strip scheduler noise from a microbenchmark); the gate
+compares the sums of those minima so fast queries cannot dominate
+through timer granularity.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tracing.py --quick \
+        --output BENCH_tracing.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import OptimizeOptions, Optimizer
+from repro.experiments import ordered_benchmark_queries
+from repro.partitioning import HashSubjectObject
+
+ALGORITHM = "td-cmdp"
+#: quick mode keeps one query per shape family (mirrors bench_verifier)
+QUICK_QUERIES = ("L1", "L2", "L3", "U1", "U2", "L7")
+
+
+def build_workload(mode: str):
+    """The benchmark queries (name, query, exact statistics) to sweep."""
+    queries = ordered_benchmark_queries()
+    if mode == "quick":
+        queries = [bq for bq in queries if bq.name in QUICK_QUERIES]
+    return queries
+
+
+def time_sweep(workload, reps: int, trace: bool):
+    """Min-of-*reps* optimize seconds per query for one tracer setting."""
+    method = HashSubjectObject()
+    per_query = {}
+    spans = 0
+    for bq in workload:
+        options = OptimizeOptions(
+            algorithm=ALGORITHM,
+            statistics=bq.statistics,
+            partitioning=method,
+            trace=trace,
+        )
+        best = float("inf")
+        for _ in range(reps):
+            session = Optimizer(options)
+            started = time.perf_counter()
+            session.optimize(bq.query)
+            best = min(best, time.perf_counter() - started)
+            if session.tracer is not None:
+                spans = max(spans, len(session.tracer))
+        per_query[bq.name] = best
+    return per_query, spans
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small CI workload")
+    parser.add_argument("--reps", type=int, default=5, help="repetitions per query")
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.05,
+        help="fail when enabled/disabled - 1 exceeds this fraction",
+    )
+    parser.add_argument("--output", default="BENCH_tracing.json")
+    args = parser.parse_args(argv)
+    mode = "quick" if args.quick else "full"
+
+    workload = build_workload(mode)
+    print(f"mode={mode} queries={len(workload)} algorithm={ALGORITHM} reps={args.reps}")
+
+    # warm up imports and the benchmark-query caches before timing
+    warm = Optimizer(OptimizeOptions(algorithm=ALGORITHM, statistics=workload[0].statistics))
+    warm.optimize(workload[0].query)
+
+    disabled, _ = time_sweep(workload, args.reps, trace=False)
+    enabled, spans_per_query = time_sweep(workload, args.reps, trace=True)
+
+    total_disabled = sum(disabled.values())
+    total_enabled = sum(enabled.values())
+    overhead = total_enabled / total_disabled - 1.0 if total_disabled > 0 else 0.0
+    passed = overhead <= args.max_overhead
+
+    report = {
+        "mode": mode,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "algorithm": ALGORITHM,
+        "reps": args.reps,
+        "per_query": {
+            name: {
+                "disabled_seconds": disabled[name],
+                "enabled_seconds": enabled[name],
+                "overhead": (
+                    enabled[name] / disabled[name] - 1.0
+                    if disabled[name] > 0
+                    else 0.0
+                ),
+            }
+            for name in disabled
+        },
+        "gate": {
+            "total_disabled_seconds": total_disabled,
+            "total_enabled_seconds": total_enabled,
+            "overhead": overhead,
+            "max_overhead": args.max_overhead,
+            "max_spans_per_query": spans_per_query,
+            "passed": passed,
+        },
+    }
+    Path(args.output).write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(
+        f"disabled {total_disabled * 1000:.2f}ms, enabled "
+        f"{total_enabled * 1000:.2f}ms, overhead {overhead * 100:+.2f}% "
+        f"(gate {args.max_overhead * 100:.0f}%)"
+    )
+    print(f"wrote {args.output}")
+    if not passed:
+        print(
+            f"FAIL: tracing overhead {overhead * 100:.2f}% exceeds the "
+            f"{args.max_overhead * 100:.0f}% gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

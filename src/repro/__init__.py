@@ -27,6 +27,8 @@ from .core import (
     JoinGraph,
     OptimizationResult,
     OptimizationTimeout,
+    OptimizeOptions,
+    Optimizer,
     PlanCache,
     QueryShape,
     StatisticsCatalog,
@@ -41,6 +43,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "optimize",
+    "OptimizeOptions",
+    "Optimizer",
     "optimize_many",
     "optimize_query_parallel",
     "PlanCache",

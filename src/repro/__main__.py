@@ -27,17 +27,38 @@ Static analysis (see ``docs/ANALYSIS.md``)::
 ``--verify`` runs the plan-invariant verifier on every emitted plan
 (including plan-cache hits, which are invalidated and re-optimized if
 the rebuilt plan fails) and, for ``run``, gates execution on it.
+
+Observability (see ``docs/OBSERVABILITY.md``)::
+
+    python -m repro trace examples
+    python -m repro trace L3 --run --output l3.json
+    python -m repro optimize query.sparql --trace trace.json
+    python -m repro run query.sparql --data data.nt --trace trace.json
+
+``trace`` optimizes (and with ``--run`` executes) a query with tracing
+on and exports the span tree — Chrome trace-event JSON by default
+(loadable in Perfetto / ``chrome://tracing``), ``--format jsonl`` or
+``--format flame`` otherwise — plus a terminal flame summary.  The
+``--trace PATH`` flag on ``optimize`` / ``run`` / ``demo`` does the
+same export for those commands.
+
+Every subcommand funnels its flags through one
+:class:`~repro.core.session.OptimizeOptions` builder (see
+``docs/API.md`` for the flag-to-field mapping), so the CLI and the
+session API cannot drift apart.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from .analysis import InvariantViolation
-from .core import StatisticsCatalog, optimize
+from .core import StatisticsCatalog
 from .core.serialize import plan_to_dot, plan_to_json
+from .core.session import OptimizeOptions, Optimizer
 from .engine import Cluster, Executor
 from .partitioning import (
     HashSubjectObject,
@@ -78,6 +99,50 @@ def _partitioning(name: str | None):
         )
 
 
+def build_options(args: argparse.Namespace, **overrides) -> OptimizeOptions:
+    """The one flag-to-:class:`OptimizeOptions` mapping every command uses.
+
+    Flags a subcommand does not define fall back to the option defaults;
+    *overrides* win over flags (e.g. ``run`` forces a partitioning and
+    explicit statistics).  The full mapping is documented in
+    ``docs/API.md``.
+    """
+    fields = dict(
+        algorithm=getattr(args, "algorithm", None) or "td-auto",
+        partitioning=_partitioning(getattr(args, "partitioning", None)),
+        timeout_seconds=getattr(args, "timeout", None),
+        seed=getattr(args, "seed", 0),
+        jobs=getattr(args, "jobs", 1),
+        verify=getattr(args, "verify", False),
+        trace=getattr(args, "trace", None) is not None,
+    )
+    fields.update(overrides)
+    return OptimizeOptions(**fields)
+
+
+def _make_session(args: argparse.Namespace, **overrides) -> Optimizer:
+    """Build the :class:`Optimizer` session for one CLI invocation.
+
+    An unknown algorithm raises :class:`ValueError` from the session
+    constructor, exactly as the legacy facade did per call.
+    """
+    return Optimizer(build_options(args, **overrides))
+
+
+def _export_trace(session: Optimizer, path: str | None) -> None:
+    """Write the session's trace as Chrome trace-event JSON to *path*."""
+    if path is None or session.tracer is None:
+        return
+    from .observability import export
+
+    data = export.to_chrome_trace(session.tracer)
+    Path(path).write_text(json.dumps(data), encoding="utf-8")
+    print(
+        f"# trace: {len(session.tracer)} spans -> {path}",
+        file=sys.stderr,
+    )
+
+
 def cmd_optimize(args: argparse.Namespace) -> int:
     query = _load_query(args.query)
     dataset = _load_dataset(args.data)
@@ -88,18 +153,9 @@ def cmd_optimize(args: argparse.Namespace) -> int:
 
         cache_path = Path(args.plan_cache)
         cache = PlanCache.load(cache_path) if cache_path.exists() else PlanCache()
+    session = _make_session(args, dataset=dataset, plan_cache=cache)
     try:
-        result = optimize(
-            query,
-            algorithm=args.algorithm,
-            dataset=dataset,
-            partitioning=_partitioning(args.partitioning),
-            timeout_seconds=args.timeout,
-            seed=args.seed,
-            plan_cache=cache,
-            jobs=args.jobs,
-            verify=args.verify,
-        )
+        result = session.optimize(query)
     except InvariantViolation as violation:
         raise SystemExit(f"plan verification failed: {violation.describe()}")
     if args.verify:
@@ -130,6 +186,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         print(plan_to_dot(result.plan, name=query.name or "plan"))
     else:
         print(result.plan.describe())
+    _export_trace(session, args.trace)
     return 0
 
 
@@ -152,15 +209,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         raise SystemExit("run requires --data")
     method = _partitioning(args.partitioning) or HashSubjectObject()
     statistics = StatisticsCatalog.from_dataset(query, dataset)
+    session = _make_session(args, statistics=statistics, partitioning=method)
     try:
-        result = optimize(
-            query,
-            algorithm=args.algorithm,
-            statistics=statistics,
-            partitioning=method,
-            timeout_seconds=args.timeout,
-            verify=args.verify,
-        )
+        result = session.optimize(query)
     except InvariantViolation as violation:
         raise SystemExit(f"plan verification failed: {violation.describe()}")
     verifier = None
@@ -190,7 +241,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             retry_policy=policy,
             plan_verifier=verifier,
         )
-        relation, metrics = executor.execute(result.plan, query)
+        with session.tracing():
+            relation, metrics = executor.execute(result.plan, query)
         for key, value in metrics.summary().items():
             print(f"# {key}: {value}", file=sys.stderr)
         if metrics.fault_injection_enabled and cluster.failed_workers:
@@ -201,6 +253,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         print("\t".join(str(term) for term in row))
     if len(relation) > args.limit:
         print(f"# ... {len(relation) - args.limit} more rows", file=sys.stderr)
+    _export_trace(session, args.trace)
     return 0
 
 
@@ -211,8 +264,6 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def cmd_verify_plan(args: argparse.Namespace) -> int:
-    import json
-
     from .analysis import PlanVerifier, VerificationContext
     from .core.serialize import plan_from_dict
 
@@ -222,17 +273,114 @@ def cmd_verify_plan(args: argparse.Namespace) -> int:
         plan = plan_from_dict(data, query)
     except (KeyError, ValueError, TypeError) as error:
         raise SystemExit(f"cannot rebuild plan from {args.plan}: {error}")
+    options = build_options(args, dataset=_load_dataset(args.data))
     context = VerificationContext.for_query(
         query,
-        dataset=_load_dataset(args.data),
-        partitioning=_partitioning(args.partitioning),
+        dataset=options.dataset,
+        partitioning=options.partitioning,
         algorithm=args.algorithm,
-        seed=args.seed,
+        seed=options.seed,
         structure_only=args.structure_only,
     )
     report = PlanVerifier(context).verify(plan)
     print(report.render())
     return 0 if report.ok else 1
+
+
+#: the queries ``trace examples`` sweeps: one star, one tree, one dense
+#: (all LUBM, so one generated dataset serves all three)
+EXAMPLE_QUERIES = ("L1", "L4", "L7")
+
+
+def _trace_targets(args: argparse.Namespace):
+    """Resolve the trace target into (name, query, statistics, dataset).
+
+    Accepted targets: ``examples`` (the built-in LUBM sweep), a
+    benchmark query name (``L1``–``L10``, ``U1``–``U5``), or a path to
+    a SPARQL file (statistics from ``--data`` or the seed).
+    """
+    from .experiments.benchmark_queries import benchmark_queries
+
+    target = args.target
+    if target == "examples":
+        queries = benchmark_queries()
+        return [
+            (name, queries[name].query, queries[name].statistics,
+             queries[name].dataset)
+            for name in EXAMPLE_QUERIES
+        ]
+    if target in benchmark_queries():
+        bq = benchmark_queries()[target]
+        return [(bq.name, bq.query, bq.statistics, bq.dataset)]
+    if Path(target).exists():
+        query = _load_query(target)
+        return [(query.name or target, query, None, _load_dataset(args.data))]
+    raise SystemExit(
+        f"unknown trace target {target!r}: expected 'examples', a benchmark "
+        f"query name (L1-L10, U1-U5), or a SPARQL file path"
+    )
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .observability import export
+
+    targets = _trace_targets(args)
+    method = _partitioning(args.partitioning) or HashSubjectObject()
+    session = _make_session(args, trace=True, partitioning=method)
+    for name, query, statistics, dataset in targets:
+        if statistics is not None:
+            session.prime_statistics(query, statistics)
+        try:
+            result = session.optimize(query)
+        except InvariantViolation as violation:
+            raise SystemExit(f"plan verification failed: {violation.describe()}")
+        print(
+            f"# {name}: {result.algorithm} cost={result.cost:.2f} "
+            f"plans={result.stats.plans_considered} "
+            f"time={result.elapsed_seconds * 1000:.1f}ms",
+            file=sys.stderr,
+        )
+        if args.run:
+            if dataset is None:
+                raise SystemExit("trace --run on a query file requires --data")
+            cluster = Cluster.build(dataset, method, cluster_size=args.workers)
+            with session.tracing():
+                relation, metrics = Executor(cluster).execute(result.plan, query)
+            print(
+                f"# {name}: rows={len(relation)} "
+                f"shipped={metrics.total_tuples_shipped} "
+                f"simulated_time={metrics.critical_path_cost:.2f}",
+                file=sys.stderr,
+            )
+    tracer = session.tracer
+    assert tracer is not None  # trace=True above
+    optimize_roots = [sp for sp in tracer.roots() if sp.name == "optimize"]
+    total = sum(root.duration for root in optimize_roots)
+    if optimize_roots and total > 0:
+        covered = sum(
+            export.span_coverage(tracer, root) * root.duration
+            for root in optimize_roots
+        )
+        print(
+            f"# coverage: {covered / total * 100:.1f}% of optimize wall-clock "
+            f"spanned ({len(optimize_roots)} queries)",
+            file=sys.stderr,
+        )
+    output = Path(args.output)
+    if args.format == "chrome":
+        output.write_text(
+            json.dumps(export.to_chrome_trace(tracer)), encoding="utf-8"
+        )
+    elif args.format == "jsonl":
+        output.write_text(export.to_jsonl(tracer) + "\n", encoding="utf-8")
+    else:
+        output.write_text(export.flame_summary(tracer) + "\n", encoding="utf-8")
+    print(
+        f"# trace: {len(tracer)} spans ({args.format}) -> {output}",
+        file=sys.stderr,
+    )
+    print(export.flame_summary(tracer))
+    return 0
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -260,17 +408,20 @@ def cmd_demo(args: argparse.Namespace) -> int:
     dataset = generate_lubm()
     query = lubm_query(args.query)
     method = _partitioning(args.partitioning) or HashSubjectObject()
-    result = optimize(
-        query,
+    session = _make_session(
+        args,
         statistics=StatisticsCatalog.from_dataset(query, dataset),
         partitioning=method,
     )
+    result = session.optimize(query)
     print(f"# dataset: {dataset}", file=sys.stderr)
     print(result.plan.describe())
     cluster = Cluster.build(dataset, method, cluster_size=args.workers)
-    relation, metrics = Executor(cluster).execute(result.plan, query)
+    with session.tracing():
+        relation, metrics = Executor(cluster).execute(result.plan, query)
     print(f"# rows={len(relation)} shipped={metrics.total_tuples_shipped} "
           f"simulated_time={metrics.critical_path_cost:.2f}", file=sys.stderr)
+    _export_trace(session, args.trace)
     return 0
 
 
@@ -298,6 +449,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the plan-invariant verifier on every emitted plan "
         "(cache hits are re-checked; corrupt entries become misses)",
+    )
+    common.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="collect spans + metrics and export a Chrome trace-event "
+        "JSON file (Perfetto-loadable) to PATH",
     )
 
     p_opt = sub.add_parser("optimize", parents=[common], help="optimize a query file")
@@ -378,6 +536,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip cost-model re-derivation (no statistics needed)",
     )
     p_verify.set_defaults(func=cmd_verify_plan)
+
+    p_trace = sub.add_parser(
+        "trace",
+        parents=[common],
+        help="optimize (and optionally execute) with tracing on; "
+        "export the span tree",
+    )
+    p_trace.add_argument(
+        "target",
+        help="'examples' (built-in LUBM sweep), a benchmark query name "
+        "(L1-L10, U1-U5), or a SPARQL file path",
+    )
+    p_trace.add_argument("--data", help="N-Triples file (file targets only)")
+    p_trace.add_argument(
+        "--output",
+        default="trace.json",
+        help="output file (default: trace.json)",
+    )
+    p_trace.add_argument(
+        "--format",
+        choices=("chrome", "jsonl", "flame"),
+        default="chrome",
+        help="export format (default: chrome trace-event JSON)",
+    )
+    p_trace.add_argument(
+        "--run",
+        action="store_true",
+        help="also execute the plan on the simulated cluster "
+        "(execution spans join the trace)",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_exp = sub.add_parser("experiments", help="regenerate a paper table/figure")
     p_exp.add_argument("name")

@@ -56,6 +56,7 @@ from .plans import (
 )
 from .pruning import PrunedTopDownEnumerator
 from .reduction import ReductionOptimizer, greedy_join_graph_reduction
+from .session import OptimizeOptions, Optimizer
 
 __all__ = [
     "JoinGraph",
@@ -103,6 +104,8 @@ __all__ = [
     "EnumerationStats",
     "greedy_join_graph_reduction",
     "optimize",
+    "OptimizeOptions",
+    "Optimizer",
     "optimize_many",
     "optimize_query_parallel",
     "default_jobs",

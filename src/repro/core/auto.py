@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..observability import runtime as obs
 from .cost import PlanBuilder
 from .enumeration import OptimizationResult, TopDownEnumerator
 from .join_graph import JoinGraph
@@ -81,7 +82,15 @@ class AutonomousOptimizer:
 
     def optimize(self) -> OptimizationResult:
         """Pick a variant per Figure 5 and run it."""
-        choice = choose_algorithm(self.join_graph, self.thresholds)
+        with obs.span("auto.choose") as sp:
+            choice = choose_algorithm(self.join_graph, self.thresholds)
+            sp.set(
+                choice=choice,
+                vt_vj_ratio=self.join_graph.vt_vj_ratio(),
+                max_degree=self.join_graph.max_degree(),
+                patterns=self.join_graph.size,
+            )
+        obs.count(f"optimizer.auto.{choice.lower()}")
         implementations = {
             "TD-CMD": TopDownEnumerator,
             "TD-CMDP": PrunedTopDownEnumerator,

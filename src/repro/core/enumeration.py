@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..observability import runtime as obs
 from ..rdf.terms import Variable
 from . import bitset as bs
 from .cmd import enumerate_cmds
@@ -99,6 +100,47 @@ class EnumerationStats:
     #: Σ worker seconds / parallel wall seconds (parallel search only)
     speedup: float = 0.0
 
+    def summary(self) -> Dict[str, float]:
+        """The headline counters as a flat dictionary.
+
+        The counterpart of
+        :meth:`repro.engine.metrics.ExecutionMetrics.summary`; the
+        metrics-registry reconciliation test asserts these totals agree
+        with the tracer-side ``optimizer.*`` counters.
+        """
+        data: Dict[str, float] = {
+            "plans_considered": self.plans_considered,
+            "divisions_enumerated": self.divisions_enumerated,
+            "subqueries_expanded": self.subqueries_expanded,
+            "memo_hits": self.memo_hits,
+            "local_short_circuits": self.local_short_circuits,
+        }
+        if self.workers > 1:
+            data["workers"] = self.workers
+            data["speedup"] = self.speedup
+        return data
+
+    def flush_to_metrics(self) -> None:
+        """Mirror the counters into the active metrics registry.
+
+        Called once per enumeration (never per candidate), so tracing
+        keeps its zero-cost-when-disabled guarantee.  Each counter lands
+        under ``optimizer.<field>``; in the parallel search every worker
+        flushes its own (pre-dedup) counters, so — like ``memo_hits`` —
+        parallel registry totals are per-worker sums.
+        """
+        registry = obs.metrics()
+        if registry is None:
+            return
+        for name, value in (
+            ("plans_considered", self.plans_considered),
+            ("divisions_enumerated", self.divisions_enumerated),
+            ("subqueries_expanded", self.subqueries_expanded),
+            ("memo_hits", self.memo_hits),
+            ("local_short_circuits", self.local_short_circuits),
+        ):
+            registry.counter(f"optimizer.{name}").inc(value)
+
 
 @dataclass
 class OptimizationResult:
@@ -162,8 +204,15 @@ class TopDownEnumerator:
         self._deadline = (
             started + self.timeout_seconds if self.timeout_seconds else None
         )
-        plan = self.get_best_plan(full, is_local=False)
-        elapsed = time.perf_counter() - started
+        with obs.span(
+            "enumerate",
+            algorithm=self.algorithm_name,
+            patterns=self.join_graph.size,
+        ) as sp:
+            plan = self.get_best_plan(full, is_local=False)
+            elapsed = time.perf_counter() - started
+            sp.set(cost=plan.cost, **self.stats.summary())
+            self.stats.flush_to_metrics()
         return OptimizationResult(
             plan=plan,
             algorithm=self.algorithm_name,

@@ -8,11 +8,26 @@ point the examples, tests, and benchmarks use::
     from repro import optimize, parse_query
     result = optimize(parse_query(text), algorithm="td-auto")
     print(result.plan.describe())
+
+Since the session-API redesign, :func:`optimize` is a thin shim over
+:class:`repro.core.session.Optimizer`: every call builds a one-shot
+session from its keywords.  Prefer the session API for anything that
+holds state across calls (plan cache, parallel jobs, verification,
+tracing)::
+
+    from repro import OptimizeOptions, Optimizer
+    session = Optimizer(OptimizeOptions(algorithm="td-auto", trace=True))
+    result = session.optimize(parse_query(text))
+
+The helpers :func:`resolve_statistics` and :func:`make_builder` remain
+here — they are the shared plumbing both the session and the parallel
+search drivers use.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Dict, Optional
 
 from ..partitioning.base import PartitioningMethod
@@ -23,7 +38,6 @@ from .cardinality import CardinalityEstimator, StatisticsCatalog
 from .cost import CostParameters, PAPER_PARAMETERS, PlanBuilder
 from .enumeration import OptimizationResult, TopDownEnumerator
 from .join_graph import JoinGraph
-from .local_query import LocalQueryIndex
 from .plan_cache import PlanCache
 from .pruning import PrunedTopDownEnumerator
 from .reduction import ReductionOptimizer
@@ -90,6 +104,13 @@ def optimize(
 ) -> OptimizationResult:
     """Optimize a BGP query into a k-ary bushy plan.
 
+    Back-compat shim: builds a one-shot
+    :class:`~repro.core.session.Optimizer` session from these keywords.
+    Passing session state per call (``plan_cache`` / ``jobs`` /
+    ``verify`` — the ballooning-signature path) emits a single
+    :class:`DeprecationWarning` per process pointing at the session
+    API; behaviour is unchanged either way.
+
     Parameters
     ----------
     query:
@@ -121,62 +142,35 @@ def optimize(
         treated as a miss (the query is re-optimized and the fresh,
         verified plan replaces the corrupt entry).
     """
-    key = algorithm.lower()
-    if key not in ALGORITHMS:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
-        )
-    statistics = resolve_statistics(query, statistics, dataset, seed)
-    context = None
-    if verify:
-        # imported lazily: repro.analysis depends on this module
-        from ..analysis import VerificationContext
+    # imported lazily: session.py imports this module's helpers
+    from .session import OptimizeOptions, Optimizer
 
-        context = VerificationContext.for_query(
-            query,
+    global _shim_warned
+    if (plan_cache is not None or jobs != 1 or verify) and not _shim_warned:
+        _shim_warned = True
+        warnings.warn(
+            "passing session state (plan_cache/jobs/verify) to optimize() "
+            "per call is deprecated; build an Optimizer session instead: "
+            "Optimizer(OptimizeOptions(...)).optimize(query)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    session = Optimizer(
+        OptimizeOptions(
+            algorithm=algorithm,
             statistics=statistics,
+            dataset=dataset,
             partitioning=partitioning,
             parameters=parameters,
+            timeout_seconds=timeout_seconds,
             seed=seed,
-        )
-    if plan_cache is not None:
-        cached = plan_cache.lookup(query, statistics, key, parameters, partitioning)
-        if cached is not None:
-            if context is None:
-                return cached
-            from ..analysis import verify_result
-
-            if verify_result(cached, context).ok:
-                return cached
-            # corrupt rebuild: drop the entry and fall through to a
-            # fresh optimization, exactly as if the lookup had missed
-            plan_cache.invalidate(query, statistics, key, parameters, partitioning)
-    if jobs > 1 and key in PARALLELIZABLE_ALGORITHMS:
-        from .parallel import optimize_query_parallel
-
-        result = optimize_query_parallel(
-            query,
-            algorithm=key,
+            plan_cache=plan_cache,
             jobs=jobs,
-            statistics=statistics,
-            partitioning=partitioning,
-            parameters=parameters,
-            timeout_seconds=timeout_seconds,
+            verify=verify,
         )
-    else:
-        builder = make_builder(query, statistics, parameters=parameters)
-        local_index = LocalQueryIndex(builder.join_graph, partitioning)
-        implementation = ALGORITHMS[key](
-            builder.join_graph,
-            builder,
-            local_index=local_index,
-            timeout_seconds=timeout_seconds,
-        )
-        result = implementation.optimize()
-    if context is not None:
-        from ..analysis import verify_result
+    )
+    return session.optimize(query)
 
-        verify_result(result, context).raise_if_failed()
-    if plan_cache is not None:
-        plan_cache.store(query, statistics, key, result, parameters, partitioning)
-    return result
+
+#: one DeprecationWarning per process for the ballooning-signature path
+_shim_warned = False

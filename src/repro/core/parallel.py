@@ -36,6 +36,8 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..observability import runtime as obs
+from ..observability.spans import Span, Tracer
 from ..partitioning.base import PartitioningMethod
 from ..rdf.dataset import Dataset
 from ..rdf.terms import Variable
@@ -112,7 +114,13 @@ _SERIAL = {"td-cmd": TopDownEnumerator, "td-cmdp": PrunedTopDownEnumerator}
 
 
 def _intra_query_worker(payload: tuple) -> Dict[str, Any]:
-    """Run one root-slice sub-search (executed inside a pool process)."""
+    """Run one root-slice sub-search (executed inside a pool process).
+
+    When the driver traces, the worker builds a private
+    :class:`~repro.observability.spans.Tracer`, activates it for the
+    sub-search, and ships it back serialized in the outcome; the driver
+    adopts it onto a ``worker-N`` track (deterministic id remapping).
+    """
     (
         query,
         statistics,
@@ -122,6 +130,7 @@ def _intra_query_worker(payload: tuple) -> Dict[str, Any]:
         timeout_seconds,
         slice_index,
         slice_count,
+        trace,
     ) = payload
     builder = make_builder(query, statistics, parameters=parameters)
     local_index = LocalQueryIndex(builder.join_graph, partitioning)
@@ -133,8 +142,16 @@ def _intra_query_worker(payload: tuple) -> Dict[str, Any]:
     )
     enumerator.slice_index = slice_index
     enumerator.slice_count = slice_count
+    tracer = Tracer(track=f"worker-{slice_index}") if trace else None
     started = time.perf_counter()
-    result = enumerator.optimize()
+    if tracer is not None:
+        with obs.activate(tracer):
+            with tracer.span(
+                "worker", slice_index=slice_index, slice_count=slice_count
+            ):
+                result = enumerator.optimize()
+    else:
+        result = enumerator.optimize()
     elapsed = time.perf_counter() - started
     full = builder.join_graph.full
     root_record = enumerator.subquery_records.pop(full)
@@ -146,6 +163,7 @@ def _intra_query_worker(payload: tuple) -> Dict[str, Any]:
         "memo_hits": result.stats.memo_hits,
         "subqueries": result.stats.subqueries_expanded,
         "elapsed": elapsed,
+        "trace": tracer.to_payload() if tracer is not None else None,
     }
 
 
@@ -232,10 +250,14 @@ def optimize_query_parallel(
     if root_is_local and probe.local_short_circuit:
         # Rule 3 answers the root immediately; nothing to parallelize
         return optimize(query, **serial_kwargs)
-    root_division_count = sum(1 for _ in probe.divisions(join_graph.full))
+    # the raw generator when available (`_divisions`): the probe pass only
+    # counts divisions, and must not inflate the `pruning.*` trace counters
+    probe_divisions = getattr(probe, "_divisions", probe.divisions)
+    root_division_count = sum(1 for _ in probe_divisions(join_graph.full))
     jobs = max(1, min(jobs, root_division_count))
     if jobs <= 1:
         return optimize(query, **serial_kwargs)
+    tracer = obs.current_tracer()
     payloads = [
         (
             query,
@@ -246,13 +268,33 @@ def optimize_query_parallel(
             timeout_seconds,
             index,
             jobs,
+            tracer is not None,
         )
         for index in range(jobs)
     ]
-    spawn_started = time.perf_counter()
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        outcomes = list(pool.map(_intra_query_worker, payloads))
-    wall = time.perf_counter() - spawn_started
+    with obs.span(
+        "parallel.search",
+        jobs=jobs,
+        algorithm=key,
+        root_divisions=root_division_count,
+    ) as parallel_span:
+        dispatch_at = tracer.now() if tracer is not None else 0.0
+        spawn_started = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            outcomes = list(pool.map(_intra_query_worker, payloads))
+        wall = time.perf_counter() - spawn_started
+        if tracer is not None:
+            parent = parallel_span if isinstance(parallel_span, Span) else None
+            for index, outcome in enumerate(outcomes):
+                worker_trace = outcome.get("trace")
+                if worker_trace is not None:
+                    tracer.adopt(
+                        worker_trace,
+                        track=f"worker-{index}",
+                        parent=parent,
+                        rebase_to=dispatch_at,
+                    )
+        parallel_span.set(wall_seconds=wall)
     best = min(enumerate(outcomes), key=lambda item: (item[1]["cost"], item[0]))[1]
     stats = _merge_worker_stats(outcomes, root_is_local, wall)
     return OptimizationResult(

@@ -35,6 +35,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from ..observability import runtime as obs
 from ..partitioning.base import PartitioningMethod
 from ..rdf.terms import Variable
 from ..sparql.ast import BGPQuery
@@ -183,9 +184,13 @@ class PlanCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            obs.event("plan_cache.lookup", hit=False, algorithm=algorithm)
+            obs.count("plan_cache.misses")
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        obs.event("plan_cache.lookup", hit=True, algorithm=algorithm)
+        obs.count("plan_cache.hits")
         inverse = {canonical: actual for actual, canonical in mapping.items()}
         plan = plan_from_dict(_rename_plan(entry["plan"], inverse), query)
         stats = EnumerationStats(**entry["stats"])
@@ -218,9 +223,12 @@ class PlanCache:
             self._entries.move_to_end(key)
         self._entries[key] = entry
         self.stats.stores += 1
+        obs.event("plan_cache.store", algorithm=result.algorithm)
+        obs.count("plan_cache.stores")
         while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            obs.count("plan_cache.evictions")
         return key
 
     def invalidate(
@@ -247,6 +255,8 @@ class PlanCache:
         if key in self._entries:
             del self._entries[key]
             self.stats.invalidations += 1
+            obs.event("plan_cache.invalidate", key=key)
+            obs.count("plan_cache.invalidations")
             return True
         return False
 

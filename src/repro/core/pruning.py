@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Iterator, Optional, Sequence, Tuple
 
+from ..observability import runtime as obs
+from ..observability.metrics import Counter
 from ..rdf.terms import Variable
 from . import bitset as bs
 from .cmd import enumerate_cbds, enumerate_ccmds, enumerate_cmds
@@ -52,6 +54,11 @@ class PrunedTopDownEnumerator(TopDownEnumerator):
         self.rule1_ccmd_only = rule1_ccmd_only
         self.rule2_binary_broadcast = rule2_binary_broadcast
         self.local_short_circuit = rule3_local_short_circuit  # Rule 3
+        #: rule-hit counters, resolved once per enumerator (an enumerator
+        #: lives inside exactly one optimize call, so the active registry
+        #: cannot change under the cache); divisions() runs per subquery,
+        #: and a lock-guarded registry lookup there is measurable
+        self._rule_counters: Optional[Tuple[Counter, Counter, Counter]] = None
 
     def invariant_profile(self) -> InvariantProfile:
         """The invariants promised by the rules currently switched on."""
@@ -61,6 +68,45 @@ class PrunedTopDownEnumerator(TopDownEnumerator):
         )
 
     def divisions(
+        self, bits: int
+    ) -> Iterator[Tuple[Tuple[int, ...], Variable, Sequence[JoinAlgorithm]]]:
+        """The pruned division space, with Rule 1/2 hit counting.
+
+        With tracing inactive this is a plain pass-through of
+        :meth:`_divisions` (zero overhead); with a metrics registry
+        active, every yielded division is classified — binary cbd vs
+        k > 2 multi-division, and whether Rule 2 pruned its broadcast
+        candidate — and the counts are flushed when the generator is
+        exhausted (or closed).  Rule 3 hits are the
+        ``optimizer.local_short_circuits`` counter.
+        """
+        registry = obs.metrics()
+        if registry is None:
+            yield from self._divisions(bits)
+            return
+        counters = self._rule_counters
+        if counters is None:
+            counters = self._rule_counters = (
+                registry.counter("pruning.rule1_binary_divisions"),
+                registry.counter("pruning.rule1_multiway_divisions"),
+                registry.counter("pruning.rule2_broadcast_prunes"),
+            )
+        binary = multiway = broadcast_pruned = 0
+        try:
+            for division in self._divisions(bits):
+                if len(division[0]) == 2:
+                    binary += 1
+                else:
+                    multiway += 1
+                    if JoinAlgorithm.BROADCAST not in division[2]:
+                        broadcast_pruned += 1
+                yield division
+        finally:
+            counters[0].inc(binary)
+            counters[1].inc(multiway)
+            counters[2].inc(broadcast_pruned)
+
+    def _divisions(
         self, bits: int
     ) -> Iterator[Tuple[Tuple[int, ...], Variable, Sequence[JoinAlgorithm]]]:
         both = (JoinAlgorithm.BROADCAST, JoinAlgorithm.REPARTITION)

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Set, Tuple
 
+from ..observability import runtime as obs
 from ..rdf.terms import Variable
 from ..sparql.ast import BGPQuery
 from . import bitset as bs
@@ -114,6 +115,13 @@ def greedy_join_graph_reduction(
                 best = candidate
         assert best is not None, "singletons guarantee a cover"
         picked.append(best)
+        obs.event(
+            "jgr.round",
+            pick=best,
+            newly_covered=bs.popcount(best & uncovered),
+            ratio=best_key[0],
+        )
+        obs.count("jgr.rounds")
         uncovered &= ~best
     # make parts disjoint in pick order, then split into connected pieces
     parts: List[int] = []
@@ -177,13 +185,16 @@ class ReductionOptimizer:
     def optimize(self) -> OptimizationResult:
         """Reduce, optimize the reduced graph, expand the plan."""
         started = time.perf_counter()
-        parts = greedy_join_graph_reduction(
-            self.join_graph, self.local_index, self.builder.estimator
-        )
+        with obs.span("jgr.reduce", patterns=self.join_graph.size) as sp:
+            parts = greedy_join_graph_reduction(
+                self.join_graph, self.local_index, self.builder.estimator
+            )
+            sp.set(parts=len(parts))
         if len(parts) == 1:
             # the whole query is one local query
             plan = self.builder.local_join_plan(parts[0])
             stats = EnumerationStats(plans_considered=1, local_short_circuits=1)
+            stats.flush_to_metrics()
             return OptimizationResult(
                 plan=plan,
                 algorithm=self.algorithm_name,
@@ -202,8 +213,10 @@ class ReductionOptimizer:
             local_index=None,
             timeout_seconds=self.timeout_seconds,
         )
-        reduced_result = inner.optimize()
-        plan = self._expand(reduced_result.plan, parts)
+        with obs.span("jgr.optimize_reduced", parts=len(parts)):
+            reduced_result = inner.optimize()
+        with obs.span("jgr.expand"):
+            plan = self._expand(reduced_result.plan, parts)
         return OptimizationResult(
             plan=plan,
             algorithm=self.algorithm_name,

@@ -1,0 +1,336 @@
+"""The optimizer session API: :class:`OptimizeOptions` + :class:`Optimizer`.
+
+The :func:`repro.core.optimizer.optimize` facade grew one keyword
+argument per subsystem (statistics, partitioning, timeout, plan cache,
+parallel jobs, verification, …) until configuration and per-call input
+were indistinguishable.  This module redesigns that surface:
+
+* :class:`OptimizeOptions` is the *configuration* — one typed,
+  immutable-by-convention dataclass holding everything that used to be
+  a keyword argument, plus ``trace`` (observability is a property of a
+  session, not a twelfth kwarg);
+* :class:`Optimizer` is the *session* — it owns resolved statistics,
+  the plan cache, the tracer, and the worker-pool policy **across
+  calls**, so repeated optimizations share state the old facade
+  rebuilt every time::
+
+      from repro import OptimizeOptions, Optimizer
+
+      session = Optimizer(OptimizeOptions(algorithm="td-cmdp", trace=True))
+      for query in workload:
+          result = session.optimize(query)
+      print(flame_summary(session.tracer))
+
+:func:`~repro.core.optimizer.optimize` remains as a thin back-compat
+shim over this class (same keywords, same behaviour); only its
+ballooning-signature path — passing session state (``plan_cache``,
+``jobs``, ``verify``) per call — earns a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
+from typing import Any, ContextManager, Dict, Iterable, List, Optional, Tuple
+
+from ..observability import Tracer
+from ..observability import runtime as obs
+from ..partitioning.base import PartitioningMethod
+from ..rdf.dataset import Dataset
+from ..sparql.ast import BGPQuery
+from .cardinality import StatisticsCatalog
+from .cost import CostParameters, PAPER_PARAMETERS
+from .enumeration import OptimizationResult
+from .local_query import LocalQueryIndex
+from .plan_cache import PlanCache
+
+
+@dataclass
+class OptimizeOptions:
+    """Everything that configures an optimization session.
+
+    Field-for-field this matches the keywords of the legacy
+    :func:`~repro.core.optimizer.optimize` facade (see ``docs/API.md``
+    for the exact mapping, including the CLI flags), plus ``trace``.
+    Treat instances as immutable; derive variants with
+    :meth:`dataclasses.replace` or :meth:`with_overrides`.
+    """
+
+    #: ``"td-cmd"``, ``"td-cmdp"``, ``"hgr-td-cmd"``, or ``"td-auto"``
+    #: (case-insensitive)
+    algorithm: str = "td-auto"
+    #: explicit cardinality catalog (wins over ``dataset`` and ``seed``)
+    statistics: Optional[StatisticsCatalog] = None
+    #: dataset to derive exact statistics from (per query, cached)
+    dataset: Optional[Dataset] = None
+    #: data partitioning method; enables local-query detection
+    partitioning: Optional[PartitioningMethod] = None
+    #: cost-model constants (defaults to the paper's Table II)
+    parameters: CostParameters = field(default_factory=lambda: PAPER_PARAMETERS)
+    #: abort enumeration past this budget (paper: 600 s)
+    timeout_seconds: Optional[float] = None
+    #: seed for synthetic statistics (the paper's random-statistics mode)
+    seed: int = 0
+    #: cross-query plan cache owned by the session
+    plan_cache: Optional[PlanCache] = None
+    #: worker processes for the intra-query parallel search
+    jobs: int = 1
+    #: run the plan-invariant verifier on every returned plan
+    verify: bool = False
+    #: collect spans + metrics for every call (``session.tracer``)
+    trace: bool = False
+
+    def with_overrides(self, **overrides: Any) -> "OptimizeOptions":
+        """A copy with *overrides* applied (``dataclasses.replace``)."""
+        return replace(self, **overrides)
+
+    @property
+    def algorithm_key(self) -> str:
+        """The lower-cased registry key for :attr:`algorithm`."""
+        return self.algorithm.lower()
+
+
+class Optimizer:
+    """An optimization session: state that outlives a single query.
+
+    The session owns
+
+    * **statistics** — catalogs resolved from :attr:`OptimizeOptions.dataset`
+      (or the random seed) are cached per query object, so re-optimizing
+      a query never re-scans the data;
+    * **the plan cache** — :attr:`OptimizeOptions.plan_cache`, consulted and
+      populated by every call (verification-gated when ``verify=True``);
+    * **the tracer** — created once when ``trace=True``; every call adds
+      an ``optimize`` root span to it (see ``docs/OBSERVABILITY.md``);
+    * **jobs** — the parallel-search policy applied to every call.
+
+    Construction validates the algorithm eagerly, so a typo fails at
+    session setup rather than mid-workload.
+    """
+
+    def __init__(
+        self, options: Optional[OptimizeOptions] = None, **overrides: Any
+    ) -> None:
+        base = options if options is not None else OptimizeOptions()
+        if overrides:
+            base = base.with_overrides(**overrides)
+        from .optimizer import ALGORITHMS  # late: optimizer imports us lazily
+
+        if base.algorithm_key not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {base.algorithm!r}; "
+                f"choose from {sorted(ALGORITHMS)}"
+            )
+        if base.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {base.jobs}")
+        self.options = base
+        self.plan_cache = base.plan_cache
+        self.tracer: Optional[Tracer] = Tracer() if base.trace else None
+        #: resolved statistics per query object (the strong reference to
+        #: the query keeps ``id()`` from being recycled)
+        self._statistics: Dict[int, Tuple[BGPQuery, StatisticsCatalog]] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def optimize(self, query: BGPQuery) -> OptimizationResult:
+        """Optimize one query under this session's options."""
+        scope: ContextManager[object] = (
+            obs.activate(self.tracer) if self.tracer is not None else nullcontext()
+        )
+        with scope:
+            with obs.span(
+                "optimize",
+                query=query.name or f"q{len(query)}",
+                algorithm=self.options.algorithm_key,
+                patterns=len(query),
+            ) as root:
+                result = self._optimize(query)
+                root.set(
+                    algorithm_used=result.algorithm,
+                    cost=result.cost,
+                    plans_considered=result.stats.plans_considered,
+                    elapsed_seconds=result.elapsed_seconds,
+                )
+                return result
+
+    def tracing(self) -> ContextManager[object]:
+        """Activate this session's tracer for work outside :meth:`optimize`.
+
+        Lets callers record adjacent phases — plan execution, exports —
+        onto the same trace::
+
+            with session.tracing():
+                executor.execute(result.plan, query)
+
+        A no-op context manager when the session does not trace.
+        """
+        if self.tracer is None:
+            return nullcontext()
+        return obs.activate(self.tracer)
+
+    def optimize_many(self, queries: Iterable[BGPQuery]) -> List[OptimizationResult]:
+        """Optimize a batch of queries, reusing all session state.
+
+        Runs serially through :meth:`optimize` (sharing the statistics
+        cache, plan cache, and tracer); for process-pool batch
+        throughput use :func:`repro.core.parallel.optimize_many`, which
+        trades session state for parallelism.
+        """
+        return [self.optimize(query) for query in queries]
+
+    def resolve_statistics(self, query: BGPQuery) -> StatisticsCatalog:
+        """The session's statistics for *query* (resolved once, cached).
+
+        Resolution order matches the legacy facade: explicit catalog >
+        dataset-derived > seeded random.
+        """
+        explicit = self.options.statistics
+        if explicit is not None:
+            return explicit
+        cached = self._statistics.get(id(query))
+        if cached is not None:
+            return cached[1]
+        from .optimizer import resolve_statistics
+
+        with obs.span("statistics.resolve") as sp:
+            catalog = resolve_statistics(
+                query, None, self.options.dataset, self.options.seed
+            )
+            sp.set(
+                source="dataset" if self.options.dataset is not None else "random",
+                patterns=len(query),
+            )
+        self._statistics[id(query)] = (query, catalog)
+        return catalog
+
+    def prime_statistics(
+        self, query: BGPQuery, catalog: StatisticsCatalog
+    ) -> None:
+        """Pre-seed the session's statistics cache for *query*.
+
+        Used when per-query catalogs exist up front (e.g. the benchmark
+        queries ship exact statistics) but the session should stay
+        configured without a global :attr:`OptimizeOptions.statistics`.
+        """
+        self._statistics[id(query)] = (query, catalog)
+
+    # ------------------------------------------------------------------
+    # the optimization pipeline (one call)
+    # ------------------------------------------------------------------
+    def _optimize(self, query: BGPQuery) -> OptimizationResult:
+        from .optimizer import ALGORITHMS, PARALLELIZABLE_ALGORITHMS, make_builder
+
+        options = self.options
+        key = options.algorithm_key
+        statistics = self.resolve_statistics(query)
+        context = None
+        if options.verify:
+            with obs.span("verify.context"):
+                context = self._verification_context(query, statistics)
+        cached = self._cache_lookup(query, statistics, key, context)
+        if cached is not None:
+            return cached
+        if options.jobs > 1 and key in PARALLELIZABLE_ALGORITHMS:
+            from .parallel import optimize_query_parallel
+
+            result = optimize_query_parallel(
+                query,
+                algorithm=key,
+                jobs=options.jobs,
+                statistics=statistics,
+                partitioning=options.partitioning,
+                parameters=options.parameters,
+                timeout_seconds=options.timeout_seconds,
+            )
+        else:
+            with obs.span("build", patterns=len(query)):
+                builder = make_builder(
+                    query, statistics, parameters=options.parameters
+                )
+                local_index = LocalQueryIndex(
+                    builder.join_graph, options.partitioning
+                )
+                implementation = ALGORITHMS[key](
+                    builder.join_graph,
+                    builder,
+                    local_index=local_index,
+                    timeout_seconds=options.timeout_seconds,
+                )
+            result = implementation.optimize()
+        if context is not None:
+            with obs.span("verify", cached=False) as sp:
+                from ..analysis import verify_result
+
+                report = verify_result(result, context)
+                sp.set(ok=report.ok)
+                obs.count("optimizer.verifications")
+                report.raise_if_failed()
+        if self.plan_cache is not None:
+            self.plan_cache.store(
+                query, statistics, key, result, options.parameters,
+                options.partitioning,
+            )
+        return result
+
+    def _verification_context(
+        self, query: BGPQuery, statistics: StatisticsCatalog
+    ) -> Any:
+        """Build the invariant-verifier context for one query."""
+        # imported lazily: repro.analysis depends on repro.core
+        from ..analysis import VerificationContext
+
+        return VerificationContext.for_query(
+            query,
+            statistics=statistics,
+            partitioning=self.options.partitioning,
+            parameters=self.options.parameters,
+            seed=self.options.seed,
+        )
+
+    def _cache_lookup(
+        self,
+        query: BGPQuery,
+        statistics: StatisticsCatalog,
+        key: str,
+        context: Any,
+    ) -> Optional[OptimizationResult]:
+        """Plan-cache lookup, with the verification gate on hits.
+
+        A cached plan that fails verification is invalidated and
+        treated as a miss, exactly as if the lookup had missed.
+        """
+        if self.plan_cache is None:
+            return None
+        options = self.options
+        cached = self.plan_cache.lookup(
+            query, statistics, key, options.parameters, options.partitioning
+        )
+        if cached is None:
+            return None
+        if context is None:
+            return cached
+        with obs.span("verify", cached=True) as sp:
+            from ..analysis import verify_result
+
+            ok = verify_result(cached, context).ok
+            sp.set(ok=ok)
+            obs.count("optimizer.verifications")
+        if ok:
+            return cached
+        # corrupt rebuild: drop the entry and fall through to a fresh
+        # optimization, exactly as if the lookup had missed
+        self.plan_cache.invalidate(
+            query, statistics, key, options.parameters, options.partitioning
+        )
+        return None
+
+    def __repr__(self) -> str:
+        flags = [self.options.algorithm_key]
+        if self.options.jobs > 1:
+            flags.append(f"jobs={self.options.jobs}")
+        if self.plan_cache is not None:
+            flags.append(f"cache={len(self.plan_cache)}")
+        if self.tracer is not None:
+            flags.append(f"spans={len(self.tracer)}")
+        return f"Optimizer({', '.join(flags)})"

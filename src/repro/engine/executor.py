@@ -35,6 +35,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis → core)
 
 from ..core.cost import CostParameters, PAPER_PARAMETERS
 from ..core.plans import JoinAlgorithm, JoinNode, PlanNode, ScanNode
+from ..observability import runtime as obs
+from ..observability.spans import NULL_SPAN, Span
 from ..rdf.terms import Variable
 from ..rdf.triples import RDFGraph
 from ..sparql.ast import BGPQuery
@@ -102,18 +104,52 @@ class Executor:
         else:
             self._recovery = None
         self._inflight = []
-        started = time.perf_counter()
-        distributed, critical = self._execute(plan, metrics)
-        result = self._collect(distributed)
-        if query is not None and query.projection:
-            result = result.project(query.projection)
-        metrics.wall_seconds = time.perf_counter() - started
-        metrics.result_rows = len(result)
-        metrics.critical_path_cost = critical
-        if self._recovery is not None:
-            metrics.workers_failed = self._recovery.workers_failed
+        with obs.span(
+            "execute",
+            workers=self.cluster.size,
+            fault_injection=metrics.fault_injection_enabled,
+        ) as sp:
+            started = time.perf_counter()
+            distributed, critical = self._execute(plan, metrics)
+            result = self._collect(distributed)
+            if query is not None and query.projection:
+                result = result.project(query.projection)
+            metrics.wall_seconds = time.perf_counter() - started
+            metrics.result_rows = len(result)
+            metrics.critical_path_cost = critical
+            if self._recovery is not None:
+                metrics.workers_failed = self._recovery.workers_failed
+            if sp is not NULL_SPAN:
+                sp.set(
+                    result_rows=metrics.result_rows,
+                    operators=len(metrics.operators),
+                    simulated_time=metrics.critical_path_cost,
+                    wall_seconds=metrics.wall_seconds,
+                    workers_failed=metrics.workers_failed,
+                )
+                self._flush_metrics(metrics)
         self._inflight = []
         return result, metrics
+
+    def _flush_metrics(self, metrics: ExecutionMetrics) -> None:
+        """Mirror one execution's totals into the active metrics registry.
+
+        Called once per :meth:`execute` (never per operator or per
+        tuple), matching the reconciliation contract of
+        :meth:`~repro.engine.metrics.ExecutionMetrics.summary`.
+        """
+        registry = obs.metrics()
+        if registry is None:
+            return
+        registry.counter("engine.tuples_read").inc(metrics.total_tuples_read)
+        registry.counter("engine.tuples_shipped").inc(metrics.total_tuples_shipped)
+        registry.counter("engine.tuples_produced").inc(metrics.total_tuples_produced)
+        registry.counter("engine.result_rows").inc(metrics.result_rows)
+        registry.counter("engine.retries").inc(metrics.total_retries)
+        registry.counter("engine.faults_injected").inc(metrics.total_faults_injected)
+        registry.histogram("engine.simulated_time").observe(
+            metrics.critical_path_cost
+        )
 
     # ------------------------------------------------------------------
     # node evaluation
@@ -132,6 +168,7 @@ class Executor:
     ) -> Tuple[DistributedRelation, float]:
         if node.pattern is None:
             raise ExecutionError("scan node carries no pattern")
+        sp = obs.span("scan", pattern=node.pattern_index)
         started = time.perf_counter()
 
         def run_once() -> Tuple[DistributedRelation, OperatorMetrics]:
@@ -148,47 +185,70 @@ class Executor:
             )
             return relations, op
 
-        if self._recovery is None:
-            relations, op = run_once()
-        else:
-            relations, op = self._recovery.run_operator(
-                f"scan[{node.pattern_index}]", run_once, self._inflight
-            )
-            self._inflight.append(relations)
-        op.wall_seconds = time.perf_counter() - started
+        with sp:
+            if self._recovery is None:
+                relations, op = run_once()
+            else:
+                relations, op = self._recovery.run_operator(
+                    f"scan[{node.pattern_index}]", run_once, self._inflight
+                )
+                self._inflight.append(relations)
+            op.wall_seconds = time.perf_counter() - started
+            if sp is not NULL_SPAN:
+                self._annotate(sp, op)
         metrics.operators.append(op)
         return relations, op.recovery_cost
 
     def _execute_join(
         self, node: JoinNode, metrics: ExecutionMetrics
     ) -> Tuple[DistributedRelation, float]:
-        children: List[DistributedRelation] = []
-        child_critical = 0.0
-        for child in node.children:
-            relation, critical = self._execute(child, metrics)
-            children.append(relation)
-            child_critical = max(child_critical, critical)
-        started = time.perf_counter()
+        with obs.span(
+            "join", algorithm=node.algorithm.value, arity=node.arity
+        ) as sp:
+            children: List[DistributedRelation] = []
+            child_critical = 0.0
+            for child in node.children:
+                relation, critical = self._execute(child, metrics)
+                children.append(relation)
+                child_critical = max(child_critical, critical)
+            started = time.perf_counter()
 
-        def run_once() -> Tuple[DistributedRelation, OperatorMetrics]:
-            if node.algorithm is JoinAlgorithm.LOCAL:
-                return self._local_join(node, children)
-            if node.algorithm is JoinAlgorithm.BROADCAST:
-                return self._broadcast_join(node, children)
-            return self._repartition_join(node, children)
+            def run_once() -> Tuple[DistributedRelation, OperatorMetrics]:
+                if node.algorithm is JoinAlgorithm.LOCAL:
+                    return self._local_join(node, children)
+                if node.algorithm is JoinAlgorithm.BROADCAST:
+                    return self._broadcast_join(node, children)
+                return self._repartition_join(node, children)
 
-        if self._recovery is None:
-            result, op = run_once()
-        else:
-            result, op = self._recovery.run_operator(
-                self._label(node), run_once, self._inflight
-            )
-            for child in children:
-                self._discard_inflight(child)
-            self._inflight.append(result)
-        op.wall_seconds = time.perf_counter() - started
+            if self._recovery is None:
+                result, op = run_once()
+            else:
+                result, op = self._recovery.run_operator(
+                    self._label(node), run_once, self._inflight
+                )
+                for child in children:
+                    self._discard_inflight(child)
+                self._inflight.append(result)
+            op.wall_seconds = time.perf_counter() - started
+            if sp is not NULL_SPAN:
+                self._annotate(sp, op, simulated_cost=op.simulated_cost(self.parameters))
         metrics.operators.append(op)
         return result, child_critical + op.total_cost(self.parameters)
+
+    @staticmethod
+    def _annotate(sp: "Span", op: OperatorMetrics, **extra: float) -> None:
+        """Copy one operator's counters onto its span (tracing active)."""
+        sp.set(
+            operator=op.operator,
+            tuples_read=op.tuples_read,
+            tuples_shipped=op.tuples_shipped,
+            tuples_produced=op.tuples_produced,
+            wall_seconds=op.wall_seconds,
+            retries=op.retries,
+            faults_injected=op.faults_injected,
+            recovery_cost=op.recovery_cost,
+            **extra,
+        )
 
     # -- local ----------------------------------------------------------
     def _local_join(

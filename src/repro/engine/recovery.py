@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Tuple, TYPE_CHECKING
 
 from ..core.cost import CostParameters
+from ..observability import runtime as obs
 from .faults import FaultEvent, FaultInjector, FaultKind
 from .metrics import OperatorMetrics
 from .relations import Relation
@@ -151,6 +152,14 @@ class RecoveryManager:
                 result, op = run_once()
                 break
             faults += 1
+            obs.event(
+                "fault",
+                kind=fault.kind.value,
+                worker=fault.worker,
+                operator=label,
+                attempt=retries + 1,
+            )
+            obs.count("engine.recovery.faults")
             if fault.kind is FaultKind.STRAGGLER:
                 result, op = run_once()
                 recovery += self._straggler_penalty(fault, op)
@@ -161,6 +170,8 @@ class RecoveryManager:
                     f"{label}: retry budget ({self.policy.max_retries}) exhausted; "
                     f"last fault was {fault}"
                 )
+            obs.event("retry", operator=label, retry=retries)
+            obs.count("engine.recovery.retries")
             recovery += self.policy.backoff_cost(retries)
             if fault.kind is FaultKind.TRANSIENT:
                 # the attempt ran and its output was lost: charge its

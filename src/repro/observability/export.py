@@ -1,0 +1,260 @@
+"""Trace exporters: JSON-lines, Chrome trace-event format, flame text.
+
+Three views of one collected trace:
+
+* :func:`to_jsonl` / :func:`spans_from_jsonl` — one span per line,
+  loss-free round trip (the archival format);
+* :func:`to_chrome_trace` — the Chrome trace-event JSON object format
+  (``{"traceEvents": [...]}``) loadable in Perfetto and
+  ``chrome://tracing``: spans become complete (``"ph": "X"``) events,
+  span events become thread-scoped instants (``"ph": "i"``), tracks
+  become named threads, and the metrics snapshot rides along under
+  ``otherData``;
+* :func:`flame_summary` — a terminal flame view: the span tree
+  aggregated by name path with inclusive time and percent-of-root.
+
+:func:`validate_chrome_trace` is the schema check the tests and the CI
+``observability`` job run against exported traces, and
+:func:`span_coverage` measures how much of a root span its children
+account for (the acceptance gate is >= 90% of optimize wall-clock).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .spans import Span, Tracer
+
+TraceLike = Union[Tracer, Sequence[Span]]
+
+
+def _spans_of(trace: TraceLike) -> List[Span]:
+    if isinstance(trace, Tracer):
+        return list(trace.finished_spans())
+    return [span for span in trace if span.end is not None]
+
+
+# ----------------------------------------------------------------------
+# JSON lines
+# ----------------------------------------------------------------------
+def to_jsonl(trace: TraceLike) -> str:
+    """Serialize every finished span as one JSON object per line."""
+    return "\n".join(
+        json.dumps(span.to_dict(), sort_keys=True) for span in _spans_of(trace)
+    )
+
+
+def spans_from_jsonl(text: str) -> List[Span]:
+    """Rebuild spans from :func:`to_jsonl` output (loss-free)."""
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+_PID = 1
+
+
+def _track_ids(spans: Sequence[Span]) -> Dict[str, int]:
+    """Stable track -> tid mapping: ``main`` is 1, the rest sorted."""
+    tracks = {span.track for span in spans}
+    ordered = (["main"] if "main" in tracks else []) + sorted(tracks - {"main"})
+    return {track: index + 1 for index, track in enumerate(ordered)}
+
+
+def to_chrome_trace(
+    trace: TraceLike, metrics: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Export as a Chrome trace-event JSON object (Perfetto-loadable).
+
+    Timestamps are microseconds on the tracer's monotonic clock.  When
+    *trace* is a :class:`Tracer` its metrics snapshot is embedded under
+    ``otherData.metrics`` automatically; pass *metrics* to override.
+    """
+    spans = _spans_of(trace)
+    if metrics is None and isinstance(trace, Tracer):
+        metrics = trace.metrics.snapshot()
+    tids = _track_ids(spans)
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    for track, tid in sorted(tids.items(), key=lambda item: item[1]):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for span in spans:
+        tid = tids[span.track]
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": "repro",
+                "pid": _PID,
+                "tid": tid,
+                "ts": span.start * 1e6,
+                "dur": max(span.duration * 1e6, 0.001),
+                "args": {
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    **span.attributes,
+                },
+            }
+        )
+        for item in span.events:
+            events.append(
+                {
+                    "ph": "i",
+                    "name": item.name,
+                    "cat": "repro",
+                    "pid": _PID,
+                    "tid": tid,
+                    "ts": item.timestamp * 1e6,
+                    "s": "t",
+                    "args": dict(item.attributes),
+                }
+            )
+    data: Dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metrics is not None:
+        data["otherData"] = {"metrics": metrics}
+    return data
+
+
+def validate_chrome_trace(data: Any) -> List[str]:
+    """Schema check for the trace-event format; returns problems.
+
+    Covers the subset of the (informally specified) trace-event format
+    that Perfetto and ``chrome://tracing`` require to load a file:
+    ``traceEvents`` must be a list of objects, every event needs
+    ``name``/``ph``/``pid``/``tid``, duration events need numeric
+    non-negative ``ts``/``dur``, instants need ``ts`` and scope ``s``,
+    metadata events need an ``args`` object.
+    """
+    problems: List[str] = []
+    if not isinstance(data, dict):
+        return [f"top level must be an object, got {type(data).__name__}"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for index, ev in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for required in ("name", "ph", "pid", "tid"):
+            if required not in ev:
+                problems.append(f"{where}: missing {required!r}")
+        phase = ev.get("ph")
+        if phase == "X":
+            for key in ("ts", "dur"):
+                value = ev.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(f"{where}: {key!r} must be a number >= 0")
+        elif phase == "i":
+            if not isinstance(ev.get("ts"), (int, float)):
+                problems.append(f"{where}: 'ts' must be a number")
+            if ev.get("s") not in ("t", "p", "g"):
+                problems.append(f"{where}: instant scope 's' must be t/p/g")
+        elif phase == "M":
+            if not isinstance(ev.get("args"), dict):
+                problems.append(f"{where}: metadata event needs an 'args' object")
+        elif not isinstance(phase, str):
+            problems.append(f"{where}: 'ph' must be a string")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# coverage + flame summary
+# ----------------------------------------------------------------------
+def span_coverage(trace: TraceLike, root: Span) -> float:
+    """Fraction of *root*'s duration covered by its direct children.
+
+    Child intervals are clipped to the root and merged, so overlapping
+    or out-of-range children never push coverage past 1.0.  A root
+    with zero duration counts as fully covered.
+    """
+    if root.end is None or root.duration <= 0.0:
+        return 1.0
+    intervals: List[Tuple[float, float]] = []
+    for span in _spans_of(trace):
+        if span.parent_id != root.span_id or span.end is None:
+            continue
+        start = max(span.start, root.start)
+        end = min(span.end, root.end)
+        if end > start:
+            intervals.append((start, end))
+    intervals.sort()
+    covered = 0.0
+    cursor = root.start
+    for start, end in intervals:
+        start = max(start, cursor)
+        if end > start:
+            covered += end - start
+            cursor = end
+    return covered / root.duration
+
+
+def flame_summary(
+    trace: TraceLike, min_percent: float = 0.5, max_depth: int = 12
+) -> str:
+    """Render the span tree as an indented terminal flame summary.
+
+    Sibling spans with the same name are aggregated (call count + total
+    inclusive seconds); rows below *min_percent* of the total root time
+    are folded away.  Multiple roots (one per traced optimize/execute)
+    aggregate by name too.
+    """
+    spans = _spans_of(trace)
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    roots = children.get(None, [])
+    total = sum(span.duration for span in roots)
+    lines = [f"{'span':<48} {'calls':>6} {'total':>10} {'share':>7}"]
+
+    def aggregate(group: Iterable[Span]) -> List[Tuple[str, List[Span]]]:
+        by_name: Dict[str, List[Span]] = {}
+        for span in group:
+            by_name.setdefault(span.name, []).append(span)
+        # heaviest first; name breaks exact ties deterministically
+        return sorted(
+            by_name.items(),
+            key=lambda item: (-sum(s.duration for s in item[1]), item[0]),
+        )
+
+    def render(group: Iterable[Span], depth: int) -> None:
+        if depth > max_depth:
+            return
+        for name, same in aggregate(group):
+            seconds = sum(span.duration for span in same)
+            percent = 100.0 * seconds / total if total > 0 else 0.0
+            if percent < min_percent and depth > 0:
+                continue
+            label = "  " * depth + name
+            lines.append(
+                f"{label:<48} {len(same):>6} {seconds * 1000:>8.2f}ms {percent:>6.1f}%"
+            )
+            nested: List[Span] = []
+            for span in same:
+                nested.extend(children.get(span.span_id, []))
+            render(nested, depth + 1)
+
+    render(roots, 0)
+    return "\n".join(lines)
