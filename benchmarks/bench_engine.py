@@ -1,15 +1,73 @@
-"""Engine micro-benchmarks: scan, hash join, and distributed operators.
+#!/usr/bin/env python
+"""Engine benchmarks: micro operators plus the columnar-vs-reference sweep.
 
-Not a paper table — substrate health checks, so regressions in the
-simulated engine show up next to the optimizer benchmarks.
+Two layers:
+
+* **pytest-benchmark micro tests** (run via ``pytest benchmarks/bench_engine.py``)
+  — scan, hash join, and distributed operators on both engines; substrate
+  health checks, not a paper table.
+* **standalone sweep** (run as a script) — the 15-query benchmark sweep
+  (L1–L10, U1–U5) executed end to end on the reference and columnar
+  engines, written to ``BENCH_engine.json``:
+
+  - per query: wall seconds per engine, the speedup, and a bit-identical
+    check of the decoded result sets (same rows, same schemas);
+  - a fault-injection section repeating part of the sweep with a seeded
+    injector on both engines (results must still match);
+  - the aggregate speedup (Σ reference wall / Σ columnar wall).
+
+  The ``--baseline`` gate is machine-independent: it checks the *speedup
+  ratio*, requiring ``aggregate >= max(3.0, baseline_aggregate / 2)``.
+  The ratio is a property of the code (int-tuple hashing + indexed scans
+  vs. term-object hashing), not of the runner hardware.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick \
+        --output BENCH_engine.json --baseline benchmarks/baseline_engine.json
 """
 
-import random
+from __future__ import annotations
 
-import pytest
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+try:
+    import pytest
+except ImportError:  # standalone sweep must run with the stdlib only
+    class _MarkShim:
+        @staticmethod
+        def parametrize(*args, **kwargs):
+            return lambda function: function
+
+    class _PytestShim:
+        mark = _MarkShim()
+
+        @staticmethod
+        def fixture(*args, **kwargs):
+            return lambda function: function
+
+    pytest = _PytestShim()  # type: ignore[assignment]
 
 from repro.core import StatisticsCatalog, optimize
-from repro.engine import Cluster, Executor, evaluate_reference
+from repro.core.session import OptimizeOptions, Optimizer
+from repro.engine import (
+    Cluster,
+    Executor,
+    FaultInjector,
+    RetryPolicy,
+    evaluate_reference,
+    hash_join_encoded,
+    scan_pattern_encoded,
+)
+from repro.engine.cluster import Cluster as _Cluster
 from repro.engine.relations import Relation, hash_join, scan_pattern
 from repro.partitioning import HashSubjectObject
 from repro.rdf import Dataset, IRI, triple
@@ -36,6 +94,14 @@ def test_scan_throughput(benchmark, big_dataset):
     assert len(relation) > 4000
 
 
+def test_encoded_scan_throughput(benchmark, big_dataset):
+    tp = TriplePattern(Variable("x"), IRI("http://e/knows"), Variable("y"))
+    encoded = big_dataset.encoded_graph()
+    encoded.predicate_ids()  # index build is one-time, not per scan
+    relation = benchmark(scan_pattern_encoded, encoded, tp)
+    assert len(relation) > 4000
+
+
 def test_hash_join_throughput(benchmark, big_dataset):
     knows = scan_pattern(
         big_dataset.graph,
@@ -49,8 +115,21 @@ def test_hash_join_throughput(benchmark, big_dataset):
     assert len(result) > 0
 
 
+def test_encoded_hash_join_throughput(benchmark, big_dataset):
+    encoded = big_dataset.encoded_graph()
+    knows = scan_pattern_encoded(
+        encoded, TriplePattern(Variable("x"), IRI("http://e/knows"), Variable("y"))
+    )
+    works = scan_pattern_encoded(
+        encoded, TriplePattern(Variable("y"), IRI("http://e/worksFor"), Variable("o"))
+    )
+    result = benchmark(hash_join_encoded, knows, works)
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("engine", ["reference", "columnar"])
 @pytest.mark.parametrize("workers", [2, 8])
-def test_distributed_execution_throughput(benchmark, big_dataset, workers):
+def test_distributed_execution_throughput(benchmark, big_dataset, workers, engine):
     query = parse_query(
         """
         SELECT * WHERE {
@@ -64,7 +143,8 @@ def test_distributed_execution_throughput(benchmark, big_dataset, workers):
     statistics = StatisticsCatalog.from_dataset(query, big_dataset)
     plan = optimize(query, statistics=statistics, partitioning=method).plan
     cluster = Cluster.build(big_dataset, method, cluster_size=workers)
-    executor = Executor(cluster)
+    executor = Executor(cluster, engine=engine)
+    executor.execute(plan, query)  # warm fragment/index caches
 
     relation, _ = benchmark.pedantic(
         lambda: executor.execute(plan, query), rounds=1, iterations=1
@@ -79,3 +159,208 @@ def test_partitioning_throughput(benchmark, big_dataset):
         iterations=1,
     )
     assert partitioning.cluster_size == 8
+
+
+# ----------------------------------------------------------------------
+# standalone sweep: columnar vs reference over the 15 benchmark queries
+# ----------------------------------------------------------------------
+ENGINES = ("reference", "columnar")
+
+
+def _prepare_sweep(cluster_size: int):
+    """Plans, shared partitionings, and per-engine executors per query.
+
+    One partitioning per dataset (LUBM, UniProt) is shared across its
+    queries and across both engines, so the sweep times execution, not
+    partitioning; fragments/indexes are warmed before any timing.
+    """
+    from repro.experiments.benchmark_queries import ordered_benchmark_queries
+
+    partitionings = {}
+    prepared = []
+    for bq in ordered_benchmark_queries():
+        key = id(bq.dataset)
+        if key not in partitionings:
+            partitionings[key] = HashSubjectObject().partition(
+                bq.dataset, cluster_size
+            )
+        partitioning = partitionings[key]
+        session = Optimizer(
+            OptimizeOptions(
+                statistics=bq.statistics, partitioning=HashSubjectObject()
+            )
+        )
+        plan = session.optimize(bq.query).plan
+        executors = {
+            engine: Executor(
+                _Cluster(partitioning, bq.dataset.dictionary), engine=engine
+            )
+            for engine in ENGINES
+        }
+        prepared.append((bq, plan, executors))
+    return prepared
+
+
+def bench_sweep(cluster_size: int, repetitions: int):
+    """Time all 15 queries on both engines; verify identical results."""
+    prepared = _prepare_sweep(cluster_size)
+    queries = []
+    totals = dict.fromkeys(ENGINES, 0.0)
+    for bq, plan, executors in prepared:
+        walls = {}
+        rows = {}
+        for engine in ENGINES:
+            executor = executors[engine]
+            relation, _ = executor.execute(plan, bq.query)  # warm caches
+            rows[engine] = relation
+            started = time.perf_counter()
+            for _ in range(repetitions):
+                executor.execute(plan, bq.query)
+            walls[engine] = (time.perf_counter() - started) / repetitions
+            totals[engine] += walls[engine]
+        reference, columnar = rows["reference"], rows["columnar"]
+        assert columnar.variables == reference.variables, bq.name
+        assert columnar.rows == reference.rows, (
+            f"{bq.name}: decoded columnar result diverged from reference"
+        )
+        queries.append(
+            {
+                "query": bq.name,
+                "rows": len(reference),
+                "reference_seconds": walls["reference"],
+                "columnar_seconds": walls["columnar"],
+                "speedup": (
+                    walls["reference"] / walls["columnar"]
+                    if walls["columnar"] > 0
+                    else 0.0
+                ),
+            }
+        )
+    return {
+        "cluster_size": cluster_size,
+        "repetitions": repetitions,
+        "queries": queries,
+        "reference_total_seconds": totals["reference"],
+        "columnar_total_seconds": totals["columnar"],
+        "aggregate_speedup": (
+            totals["reference"] / totals["columnar"]
+            if totals["columnar"] > 0
+            else 0.0
+        ),
+    }
+
+
+def bench_faulted(cluster_size: int, fault_rate: float, fault_seed: int):
+    """Re-run a slice of the sweep under fault injection on both engines.
+
+    Fresh clusters per engine run (faults leave a cluster degraded); the
+    same injector seed drives both engines, so the fault sequences are
+    identical and the decoded results must still match.
+    """
+    from repro.experiments.benchmark_queries import ordered_benchmark_queries
+
+    checked = []
+    for bq in ordered_benchmark_queries()[::3]:  # every third query
+        plan = optimize(
+            bq.query, statistics=bq.statistics, partitioning=HashSubjectObject()
+        ).plan
+        rows = {}
+        for engine in ENGINES:
+            cluster = Cluster.build(
+                bq.dataset, HashSubjectObject(), cluster_size=cluster_size
+            )
+            executor = Executor(
+                cluster,
+                fault_injector=FaultInjector(fault_rate, seed=fault_seed),
+                retry_policy=RetryPolicy(max_retries=64),
+                engine=engine,
+            )
+            relation, metrics = executor.execute(plan, bq.query)
+            rows[engine] = relation
+            assert metrics.fault_injection_enabled
+        assert rows["columnar"].rows == rows["reference"].rows, (
+            f"{bq.name}: engines diverged under fault injection"
+        )
+        checked.append({"query": bq.name, "rows": len(rows["reference"])})
+    return {
+        "fault_rate": fault_rate,
+        "fault_seed": fault_seed,
+        "queries_checked": checked,
+        "identical_results": True,
+    }
+
+
+def check_baseline(report: dict, baseline_path: Path) -> int:
+    """Gate: aggregate speedup >= max(3.0, committed baseline / 2)."""
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    base_speedup = baseline["sweep"]["aggregate_speedup"]
+    current = report["sweep"]["aggregate_speedup"]
+    floor = max(3.0, base_speedup / 2.0)
+    print(
+        f"baseline gate: columnar aggregate speedup {current:.2f}x "
+        f"(baseline {base_speedup:.2f}x, floor {floor:.2f}x)"
+    )
+    if current < floor:
+        print(
+            "FAIL: columnar-engine speedup regressed below the gate floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer repetitions (CI smoke)"
+    )
+    parser.add_argument("--cluster-size", type=int, default=4)
+    parser.add_argument("--fault-rate", type=float, default=0.2)
+    parser.add_argument("--fault-seed", type=int, default=2017)
+    parser.add_argument("--output", default="BENCH_engine.json")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed baseline JSON; exit non-zero if the aggregate "
+        "speedup drops below max(3.0, baseline / 2)",
+    )
+    args = parser.parse_args(argv)
+    repetitions = 3 if args.quick else 7
+
+    report = {
+        "mode": "quick" if args.quick else "full",
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+    }
+    report["sweep"] = bench_sweep(args.cluster_size, repetitions)
+    for entry in report["sweep"]["queries"]:
+        print(
+            f"{entry['query']:>4s}: ref={entry['reference_seconds'] * 1000:7.2f}ms "
+            f"col={entry['columnar_seconds'] * 1000:7.2f}ms "
+            f"speedup={entry['speedup']:5.2f}x rows={entry['rows']}"
+        )
+    print(
+        f"aggregate: ref={report['sweep']['reference_total_seconds'] * 1000:.1f}ms "
+        f"col={report['sweep']['columnar_total_seconds'] * 1000:.1f}ms "
+        f"speedup={report['sweep']['aggregate_speedup']:.2f}x"
+    )
+    report["faulted"] = bench_faulted(
+        args.cluster_size, args.fault_rate, args.fault_seed
+    )
+    print(
+        f"faulted (rate={args.fault_rate}): "
+        f"{len(report['faulted']['queries_checked'])} queries, "
+        f"results identical across engines"
+    )
+
+    Path(args.output).write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.output}")
+    if args.baseline:
+        return check_baseline(report, Path(args.baseline))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -115,6 +115,7 @@ def build_options(args: argparse.Namespace, **overrides) -> OptimizeOptions:
         jobs=getattr(args, "jobs", 1),
         verify=getattr(args, "verify", False),
         trace=getattr(args, "trace", None) is not None,
+        engine=getattr(args, "engine", "reference"),
     )
     fields.update(overrides)
     return OptimizeOptions(**fields)
@@ -231,7 +232,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         from .engine import explain
 
         relation, report = explain(
-            result.plan, cluster, query, fault_injector=injector, retry_policy=policy
+            result.plan,
+            cluster,
+            query,
+            fault_injector=injector,
+            retry_policy=policy,
+            engine=session.options.engine,
         )
         print(report.render(), file=sys.stderr)
     else:
@@ -240,6 +246,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             fault_injector=injector,
             retry_policy=policy,
             plan_verifier=verifier,
+            engine=session.options.engine,
         )
         with session.tracing():
             relation, metrics = executor.execute(result.plan, query)
@@ -345,7 +352,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 raise SystemExit("trace --run on a query file requires --data")
             cluster = Cluster.build(dataset, method, cluster_size=args.workers)
             with session.tracing():
-                relation, metrics = Executor(cluster).execute(result.plan, query)
+                relation, metrics = Executor(
+                    cluster, engine=session.options.engine
+                ).execute(result.plan, query)
             print(
                 f"# {name}: rows={len(relation)} "
                 f"shipped={metrics.total_tuples_shipped} "
@@ -418,7 +427,9 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print(result.plan.describe())
     cluster = Cluster.build(dataset, method, cluster_size=args.workers)
     with session.tracing():
-        relation, metrics = Executor(cluster).execute(result.plan, query)
+        relation, metrics = Executor(
+            cluster, engine=session.options.engine
+        ).execute(result.plan, query)
     print(f"# rows={len(relation)} shipped={metrics.total_tuples_shipped} "
           f"simulated_time={metrics.critical_path_cost:.2f}", file=sys.stderr)
     _export_trace(session, args.trace)
@@ -456,6 +467,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="collect spans + metrics and export a Chrome trace-event "
         "JSON file (Perfetto-loadable) to PATH",
+    )
+    common.add_argument(
+        "--engine",
+        choices=("reference", "columnar"),
+        default="reference",
+        help="execution engine for plan execution: 'reference' (term "
+        "tuples) or 'columnar' (dictionary-encoded ids with indexed "
+        "scans; identical results, faster execution)",
     )
 
     p_opt = sub.add_parser("optimize", parents=[common], help="optimize a query file")

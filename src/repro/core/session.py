@@ -79,6 +79,10 @@ class OptimizeOptions:
     verify: bool = False
     #: collect spans + metrics for every call (``session.tracer``)
     trace: bool = False
+    #: execution engine for plan execution driven from this session's
+    #: options: ``"reference"`` (term tuples, the oracle) or
+    #: ``"columnar"`` (dictionary-encoded ids with indexed scans)
+    engine: str = "reference"
 
     def with_overrides(self, **overrides: Any) -> "OptimizeOptions":
         """A copy with *overrides* applied (``dataclasses.replace``)."""
@@ -123,6 +127,12 @@ class Optimizer:
             )
         if base.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {base.jobs}")
+        from ..engine.executor import ENGINES  # late: engine depends on core
+
+        if base.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {base.engine!r}; choose from {list(ENGINES)}"
+            )
         self.options = base
         self.plan_cache = base.plan_cache
         self.tracer: Optional[Tracer] = Tracer() if base.trace else None

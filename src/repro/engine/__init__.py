@@ -1,7 +1,14 @@
 """Simulated parallel execution engine (the RDF-3X + Hadoop stand-in)."""
 
 from .cluster import Cluster
-from .executor import ExecutionError, Executor, evaluate_reference
+from .columnar import (
+    EncodedRelation,
+    evaluate_encoded,
+    hash_join_encoded,
+    multi_join_encoded,
+    scan_pattern_encoded,
+)
+from .executor import ENGINES, ExecutionError, Executor, evaluate_reference
 from .explain import ExplainReport, OperatorExplain, explain
 from .faults import (
     FailStop,
@@ -14,6 +21,7 @@ from .faults import (
     default_models,
 )
 from .mapreduce import (
+    COLUMNAR_SHUFFLE_FACTOR,
     CrossoverAnalysis,
     MapReduceSchedule,
     MapReduceSimulator,
@@ -64,4 +72,11 @@ __all__ = [
     "scan_pattern",
     "hash_join",
     "multi_join",
+    "ENGINES",
+    "COLUMNAR_SHUFFLE_FACTOR",
+    "EncodedRelation",
+    "scan_pattern_encoded",
+    "hash_join_encoded",
+    "multi_join_encoded",
+    "evaluate_encoded",
 ]

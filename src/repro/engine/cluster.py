@@ -17,18 +17,31 @@ original structures untouched.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..partitioning.base import Partitioning, PartitioningMethod, hash_term
 from ..rdf.dataset import Dataset
+from ..rdf.encoding import EncodedGraph, TermDictionary
 from ..rdf.terms import Term
 from ..rdf.triples import RDFGraph
 
 
 class Cluster:
-    """A set of workers with partitioned RDF data."""
+    """A set of workers with partitioned RDF data.
 
-    def __init__(self, partitioning: Partitioning) -> None:
+    For the columnar engine, every worker additionally serves an
+    :class:`~repro.rdf.encoding.EncodedGraph` *fragment* of its graph,
+    built lazily against one cluster-wide
+    :class:`~repro.rdf.encoding.TermDictionary` (the dataset's when the
+    cluster was built from one), so ids are join-compatible across
+    workers and repartition shuffles move bare integers.
+    """
+
+    def __init__(
+        self,
+        partitioning: Partitioning,
+        dictionary: Optional[TermDictionary] = None,
+    ) -> None:
         self.partitioning = partitioning
         self.workers: List[RDFGraph] = partitioning.node_graphs
         if not self.workers:
@@ -36,6 +49,10 @@ class Cluster:
                 "a cluster needs at least one worker; the partitioning "
                 f"{partitioning.method_name!r} produced no node graphs"
             )
+        self._dictionary = dictionary
+        #: lazily encoded per-worker fragments; invalidated per worker
+        #: by :meth:`fail_worker` (the re-encode is the replica re-scan)
+        self._fragments: Dict[int, EncodedGraph] = {}
         self._dead: Set[int] = set()
         #: degraded-mode graph overrides: dead workers -> empty graph,
         #: re-route targets -> their graph merged with the lost partition
@@ -45,10 +62,15 @@ class Cluster:
     def build(
         cls, dataset: Dataset, method: PartitioningMethod, cluster_size: int = 10
     ) -> "Cluster":
-        """Partition *dataset* with *method* across *cluster_size* workers."""
+        """Partition *dataset* with *method* across *cluster_size* workers.
+
+        The dataset's term dictionary (already fed during its
+        statistics pass) becomes the cluster-wide id space, so fragment
+        encoding is pure lookups — the dataset is never re-interned.
+        """
         if cluster_size < 1:
             raise ValueError(f"cluster_size must be >= 1, got {cluster_size}")
-        return cls(method.partition(dataset, cluster_size))
+        return cls(method.partition(dataset, cluster_size), dataset.dictionary)
 
     @property
     def size(self) -> int:
@@ -87,6 +109,35 @@ class Cluster:
             return self.workers
         return [self.worker_graph(i) for i in range(self.size)]
 
+    # ------------------------------------------------------------------
+    # encoded fragments (columnar engine)
+    # ------------------------------------------------------------------
+    @property
+    def dictionary(self) -> TermDictionary:
+        """The cluster-wide term↔id table (created on first use)."""
+        if self._dictionary is None:
+            self._dictionary = TermDictionary()
+        return self._dictionary
+
+    def worker_fragment(self, worker: int) -> EncodedGraph:
+        """The encoded fragment *worker* currently serves (cached).
+
+        Built from :meth:`worker_graph`, so degraded layouts are
+        reflected: a re-route target's fragment is re-encoded from its
+        merged graph — the simulated replica re-scan of recovery.
+        """
+        fragment = self._fragments.get(worker)
+        if fragment is None:
+            fragment = EncodedGraph.from_graph(
+                self.worker_graph(worker), self.dictionary
+            )
+            self._fragments[worker] = fragment
+        return fragment
+
+    def worker_fragments(self) -> List[EncodedGraph]:
+        """Per-slot encoded fragments under the current liveness state."""
+        return [self.worker_fragment(i) for i in range(self.size)]
+
     def fail_worker(self, worker: int) -> Tuple[int, int]:
         """Crash *worker* and re-route its partition in degraded mode.
 
@@ -110,12 +161,17 @@ class Cluster:
         merged.add_all(lost_graph)
         self._override[worker] = RDFGraph()
         self._override[target] = merged
+        # encoded fragments of the two affected workers are stale; the
+        # next columnar scan re-encodes them from the degraded graphs
+        self._fragments.pop(worker, None)
+        self._fragments.pop(target, None)
         return target, len(lost_graph)
 
     def heal(self) -> None:
         """Resurrect every worker and restore the original layout."""
         self._dead.clear()
         self._override.clear()
+        self._fragments.clear()
 
     # ------------------------------------------------------------------
     # routing
@@ -128,6 +184,22 @@ class Cluster:
         a pure function of (term, liveness state).
         """
         target = hash_term(term, self.size)
+        if target in self._dead:
+            live = self.live_workers
+            target = live[target % len(live)]
+        return target
+
+    def route_id(self, ident: int) -> int:
+        """The worker a term *id* hashes to (columnar repartition).
+
+        Same liveness-folding contract as :meth:`route`, but the hash
+        is integer arithmetic on the dictionary id — no term is ever
+        decoded (or stringified) to route a shuffled row.  The two
+        routings may place the same binding on different workers; that
+        only changes *where* a row is joined, never the result or the
+        shipped-tuple counts.
+        """
+        target = ((ident * 2654435761) & 0xFFFFFFFF) % self.size
         if target in self._dead:
             live = self.live_workers
             target = live[target % len(live)]

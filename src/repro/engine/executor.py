@@ -41,12 +41,16 @@ from ..rdf.terms import Variable
 from ..rdf.triples import RDFGraph
 from ..sparql.ast import BGPQuery
 from .cluster import Cluster
+from .columnar import EncodedRelation, multi_join_encoded, scan_pattern_encoded
 from .faults import FaultInjector
 from .metrics import ExecutionMetrics, OperatorMetrics
 from .recovery import DEFAULT_RETRY_POLICY, RecoveryManager, RetryPolicy
 from .relations import Relation, multi_join, scan_pattern
 
 DistributedRelation = List[Relation]
+
+#: execution engines the executor can run plans on
+ENGINES = ("reference", "columnar")
 
 
 class ExecutionError(RuntimeError):
@@ -55,6 +59,19 @@ class ExecutionError(RuntimeError):
 
 class Executor:
     """Executes plans against a :class:`Cluster`.
+
+    ``engine`` selects the physical representation rows flow through:
+
+    * ``"reference"`` — :class:`~repro.engine.relations.Relation` over
+      term tuples; the original, oracle implementation.
+    * ``"columnar"`` — :class:`~repro.engine.columnar.EncodedRelation`
+      over dictionary ids with indexed fragment scans; terms are only
+      materialized once, on the final projected result.
+
+    Both engines execute the *same* plans with identical operator
+    semantics, tuple counts, and simulated costs — the engine changes
+    wall-clock time, never the priced critical path, so metrics stay
+    comparable across engines.
 
     With a fault injector, a cluster that loses workers stays degraded
     after :meth:`execute` returns (as a real cluster would); call
@@ -68,11 +85,26 @@ class Executor:
         fault_injector: Optional[FaultInjector] = None,
         retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
         plan_verifier: Optional["PlanVerifier"] = None,
+        engine: str = "reference",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
         self.cluster = cluster
         self.parameters = parameters
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy
+        self.engine = engine
+        # engine dispatch, resolved once: the k-way join and the
+        # repartition routing function (both bound methods read the
+        # cluster's *current* liveness state at call time)
+        if engine == "columnar":
+            self._multi_join = multi_join_encoded
+            self._route = cluster.route_id
+        else:
+            self._multi_join = multi_join
+            self._route = cluster.route
         #: optional pre-execution gate: a plan failing invariant
         #: verification raises before any operator runs (``--verify``)
         self.plan_verifier = plan_verifier
@@ -108,12 +140,16 @@ class Executor:
             "execute",
             workers=self.cluster.size,
             fault_injection=metrics.fault_injection_enabled,
+            engine=self.engine,
         ) as sp:
             started = time.perf_counter()
             distributed, critical = self._execute(plan, metrics)
             result = self._collect(distributed)
             if query is not None and query.projection:
                 result = result.project(query.projection)
+            if isinstance(result, EncodedRelation):
+                # late materialization: decode only the final rows
+                result = result.decode()
             metrics.wall_seconds = time.perf_counter() - started
             metrics.result_rows = len(result)
             metrics.critical_path_cost = critical
@@ -172,10 +208,16 @@ class Executor:
         started = time.perf_counter()
 
         def run_once() -> Tuple[DistributedRelation, OperatorMetrics]:
-            relations = [
-                scan_pattern(graph, node.pattern)
-                for graph in self.cluster.worker_graphs()
-            ]
+            if self.engine == "columnar":
+                relations = [
+                    scan_pattern_encoded(fragment, node.pattern)
+                    for fragment in self.cluster.worker_fragments()
+                ]
+            else:
+                relations = [
+                    scan_pattern(graph, node.pattern)
+                    for graph in self.cluster.worker_graphs()
+                ]
             produced = sum(len(r) for r in relations)
             op = OperatorMetrics(
                 operator=f"scan[{node.pattern_index}]",
@@ -257,7 +299,7 @@ class Executor:
         read = sum(len(r) for child in children for r in child)
         result: DistributedRelation = []
         for worker in range(self.cluster.size):
-            result.append(multi_join([child[worker] for child in children]))
+            result.append(self._multi_join([child[worker] for child in children]))
         op = OperatorMetrics(
             operator=self._label(node),
             algorithm=JoinAlgorithm.LOCAL.value,
@@ -284,7 +326,9 @@ class Executor:
             broadcast.append(collected)
         result: DistributedRelation = []
         for worker in range(self.cluster.size):
-            result.append(multi_join([children[largest][worker]] + broadcast))
+            result.append(
+                self._multi_join([children[largest][worker]] + broadcast)
+            )
         op = OperatorMetrics(
             operator=self._label(node),
             algorithm=JoinAlgorithm.BROADCAST.value,
@@ -301,10 +345,10 @@ class Executor:
         variable = node.join_variable or self._common_variable(children)
         read = sum(len(r) for child in children for r in child)
         shipped = 0
+        route = self._route
         repartitioned: List[List[Relation]] = []
         for child in children:
-            schema = child[0].variables
-            buckets = [Relation(schema) for _ in range(self.cluster.size)]
+            buckets = [child[0].empty_like() for _ in range(self.cluster.size)]
             for relation in child:
                 if not relation.has_variable(variable):
                     raise ExecutionError(
@@ -312,13 +356,15 @@ class Executor:
                     )
                 position = relation.position(variable)
                 for row in relation.rows:
-                    target = self.cluster.route(row[position])
+                    target = route(row[position])
                     buckets[target].rows.add(row)
                     shipped += 1
             repartitioned.append(buckets)
         result: DistributedRelation = []
         for worker in range(self.cluster.size):
-            result.append(multi_join([child[worker] for child in repartitioned]))
+            result.append(
+                self._multi_join([child[worker] for child in repartitioned])
+            )
         op = OperatorMetrics(
             operator=self._label(node),
             algorithm=JoinAlgorithm.REPARTITION.value,
@@ -337,7 +383,7 @@ class Executor:
             raise ExecutionError(
                 "cannot collect a distributed relation with no workers"
             )
-        merged = Relation(distributed[0].variables)
+        merged = distributed[0].empty_like()
         for relation in distributed:
             merged.union_inplace(relation)
         return merged

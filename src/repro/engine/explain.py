@@ -86,6 +86,7 @@ def explain(
     parameters: CostParameters = PAPER_PARAMETERS,
     fault_injector: Optional["FaultInjector"] = None,
     retry_policy: Optional["RetryPolicy"] = None,
+    engine: str = "reference",
 ) -> Tuple[Relation, ExplainReport]:
     """Execute *plan* and build the estimated-vs-measured report.
 
@@ -102,6 +103,7 @@ def explain(
         parameters,
         fault_injector=fault_injector,
         retry_policy=retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY,
+        engine=engine,
     )
     relation, metrics = executor.execute(plan, query)
     joins_postorder = _joins_postorder(plan)

@@ -23,12 +23,21 @@ wins; with small overheads the cost-optimal bushy plan (TD-CMD) wins —
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
 from ..core.cost import CostParameters, PAPER_PARAMETERS
 from ..core.plans import JoinAlgorithm, JoinNode, PlanNode, ScanNode
+from .executor import ENGINES
 from .recovery import DEFAULT_RETRY_POLICY, RetryPolicy
+
+#: shuffle-width discount of the columnar engine: a dictionary-encoded
+#: row ships 8-byte ids instead of serialized terms, so the per-tuple
+#: transfer constants (β) shrink by roughly this factor.  The value is
+#: a deliberate round figure — the simulator studies *trends*, and the
+#: executor's priced costs stay engine-neutral; only this opt-in
+#: analytic model applies the discount.
+COLUMNAR_SHUFFLE_FACTOR = 0.25
 
 
 @dataclass
@@ -126,6 +135,11 @@ class MapReduceSimulator:
     executor's injected-fault measurements: deeper plans pay the fault
     tax once per wave on the critical path, which is the shape-vs-
     robustness trade-off `bench_fault_tolerance` sweeps.
+
+    With ``engine="columnar"`` the per-tuple transfer constants (β)
+    are scaled by :data:`COLUMNAR_SHUFFLE_FACTOR` before pricing:
+    shuffles move fixed-width dictionary ids instead of serialized
+    terms.  The default keeps the historical engine-neutral pricing.
     """
 
     def __init__(
@@ -134,16 +148,30 @@ class MapReduceSimulator:
         job_startup_cost: float = 0.0,
         fault_rate: float = 0.0,
         retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+        engine: str = "reference",
     ) -> None:
         if not 0.0 <= fault_rate < 1.0:
             raise ValueError(
                 f"fault_rate must be in [0, 1) for expected-cost pricing, "
                 f"got {fault_rate}"
             )
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        if engine == "columnar":
+            parameters = replace(
+                parameters,
+                beta_broadcast=parameters.beta_broadcast
+                * COLUMNAR_SHUFFLE_FACTOR,
+                beta_repartition=parameters.beta_repartition
+                * COLUMNAR_SHUFFLE_FACTOR,
+            )
         self.parameters = parameters
         self.job_startup_cost = job_startup_cost
         self.fault_rate = fault_rate
         self.retry_policy = retry_policy
+        self.engine = engine
 
     def expected_job_cost(self, stage: Stage) -> float:
         """One job's data cost inflated by expected retries and backoff."""

@@ -199,7 +199,9 @@ class RecoveryManager:
             if len(lost):
                 distributed[target].union_inplace(lost)
                 rows_moved += len(lost)
-            distributed[worker] = Relation(lost.variables)
+            # empty_like keeps the slot's relation class (reference or
+            # columnar) so later unions see a matching schema and type
+            distributed[worker] = lost.empty_like()
         self.workers_failed += 1
         return (
             self.parameters.alpha * triples_rerouted

@@ -61,12 +61,23 @@ class Relation:
             yield {v: row[i] for i, v in enumerate(self.variables)}
 
     def project(self, variables: Iterable[Variable]) -> "Relation":
-        """Project onto *variables* (set semantics: duplicates collapse)."""
+        """Project onto *variables* (set semantics: duplicates collapse).
+
+        Projecting onto the full schema is the identity and returns
+        ``self`` without rebuilding a single row — ``SELECT *`` queries
+        hit this on every execution.
+        """
         kept = [v for v in sorted(set(variables), key=lambda v: v.name)
                 if v in self._positions]
+        if tuple(kept) == self.variables:
+            return self
         positions = [self._positions[v] for v in kept]
         rows = {tuple(row[p] for p in positions) for row in self.rows}
         return Relation(kept, rows)
+
+    def empty_like(self) -> "Relation":
+        """A fresh empty relation with this relation's schema."""
+        return Relation(self.variables)
 
     def union_inplace(self, other: "Relation") -> None:
         """Add *other*'s rows (schemas must match exactly)."""
@@ -179,20 +190,38 @@ def hash_join(left: Relation, right: Relation) -> Relation:
     return result
 
 
-def multi_join(relations: List[Relation]) -> Relation:
-    """Join k relations, smallest-first, greedily staying connected."""
+def greedy_multi_join(relations, join_pair):
+    """Greedy k-way join order: start smallest, then smallest *connected*.
+
+    At every step the next input is the smallest pending relation that
+    shares a variable with the accumulated result — not merely the
+    first connected one — so intermediates stay as small as the greedy
+    heuristic allows.  With no connected candidate (deliberately
+    disconnected queries) the smallest pending relation is taken and
+    the pair join degenerates to a Cartesian product.  Ties break on
+    the lowest index, keeping the order deterministic.
+
+    Shared by the reference (:func:`multi_join`) and columnar
+    (:func:`repro.engine.columnar.multi_join_encoded`) engines;
+    *join_pair* supplies the engine's binary hash join.
+    """
     if not relations:
         raise ValueError("nothing to join")
-    pending = sorted(relations, key=len)
-    current = pending.pop(0)
+    pending = list(relations)
+    index = min(range(len(pending)), key=lambda i: len(pending[i]))
+    current = pending.pop(index)
     while pending:
-        index = next(
-            (
-                i
-                for i, rel in enumerate(pending)
-                if any(current.has_variable(v) for v in rel.variables)
-            ),
-            0,
-        )
-        current = hash_join(current, pending.pop(index))
+        connected = [
+            i
+            for i, rel in enumerate(pending)
+            if any(current.has_variable(v) for v in rel.variables)
+        ]
+        candidates = connected if connected else range(len(pending))
+        index = min(candidates, key=lambda i: len(pending[i]))
+        current = join_pair(current, pending.pop(index))
     return current
+
+
+def multi_join(relations: List[Relation]) -> Relation:
+    """Join k relations: smallest first, then smallest connected next."""
+    return greedy_multi_join(relations, hash_join)

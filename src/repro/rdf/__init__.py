@@ -1,6 +1,7 @@
-"""RDF data model substrate: terms, triples, graphs, N-Triples IO."""
+"""RDF data model substrate: terms, triples, graphs, encoding, N-Triples IO."""
 
 from .dataset import Dataset, PredicateStatistics
+from .encoding import EncodedGraph, PredicateIndex, TermDictionary
 from .ntriples import (
     NTriplesError,
     load_ntriples,
@@ -24,6 +25,9 @@ __all__ = [
     "RDFGraph",
     "Dataset",
     "PredicateStatistics",
+    "TermDictionary",
+    "EncodedGraph",
+    "PredicateIndex",
     "NTriplesError",
     "parse_ntriples",
     "load_ntriples",

@@ -13,6 +13,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
+from .encoding import EncodedGraph, TermDictionary
 from .terms import Term
 from .triples import RDFGraph, Triple
 
@@ -37,6 +38,11 @@ class Dataset:
         self.graph = graph if graph is not None else RDFGraph()
         self.name = name
         self._predicate_stats: Dict[Term, PredicateStatistics] = {}
+        #: the dataset-wide term↔id interning table; worker fragments of
+        #: any cluster built from this dataset share it, so ids are
+        #: join-compatible across the whole cluster
+        self.dictionary = TermDictionary()
+        self._encoded: Optional[EncodedGraph] = None
         self.refresh()
 
     @classmethod
@@ -44,14 +50,25 @@ class Dataset:
         return cls(RDFGraph(triples), name=name)
 
     def refresh(self) -> None:
-        """Recompute all statistics from the current graph contents."""
+        """Recompute all statistics from the current graph contents.
+
+        The same single pass feeds the :class:`TermDictionary`, so
+        loading a dataset never iterates the full graph a second time
+        just to intern terms.  Interning is idempotent: terms that were
+        already assigned ids keep them across refreshes.
+        """
         subjects: Dict[Term, set] = defaultdict(set)
         objects: Dict[Term, set] = defaultdict(set)
         counts: Dict[Term, int] = defaultdict(int)
+        encode = self.dictionary.encode
         for t in self.graph:
             counts[t.predicate] += 1
             subjects[t.predicate].add(t.subject)
             objects[t.predicate].add(t.object)
+            encode(t.subject)
+            encode(t.predicate)
+            encode(t.object)
+        self._encoded = None
         self._predicate_stats = {
             p: PredicateStatistics(
                 triple_count=counts[p],
@@ -60,6 +77,17 @@ class Dataset:
             )
             for p in counts
         }
+
+    def encoded_graph(self) -> EncodedGraph:
+        """The whole dataset as one :class:`EncodedGraph` (cached).
+
+        Single-node columnar evaluation and tests use this; clusters
+        encode per-worker fragments instead (sharing
+        :attr:`dictionary`), so this is only built on demand.
+        """
+        if self._encoded is None:
+            self._encoded = EncodedGraph.from_graph(self.graph, self.dictionary)
+        return self._encoded
 
     # ------------------------------------------------------------------
     # statistics accessors

@@ -325,7 +325,8 @@ class TestCounterReconciliation:
         for name, value in result.stats.summary().items():
             assert counters[f"optimizer.{name}"] == value
 
-    def test_engine_counters_match_execution_metrics(self, toy_dataset):
+    @pytest.mark.parametrize("engine", ["reference", "columnar"])
+    def test_engine_counters_match_execution_metrics(self, toy_dataset, engine):
         query = parse_query(
             """
             PREFIX e: <http://e/>
@@ -344,7 +345,7 @@ class TestCounterReconciliation:
         result = session.optimize(query)
         cluster = Cluster.build(toy_dataset, method, cluster_size=4)
         executor = Executor(
-            cluster, fault_injector=FaultInjector(0.3, seed=5)
+            cluster, fault_injector=FaultInjector(0.3, seed=5), engine=engine
         )
         with session.tracing():
             _, metrics = executor.execute(result.plan, query)
