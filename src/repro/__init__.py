@@ -22,16 +22,23 @@ Quickstart::
 """
 
 from .core import (
+    AbortCause,
+    CancellationToken,
     CostParameters,
+    Deadline,
     JoinAlgorithm,
     JoinGraph,
+    ManualClock,
     OptimizationResult,
     OptimizationTimeout,
     OptimizeOptions,
     Optimizer,
     PlanCache,
+    QueryAborted,
+    QueryBudget,
     QueryShape,
     StatisticsCatalog,
+    SteppingClock,
     optimize,
     optimize_many,
     optimize_query_parallel,
@@ -57,6 +64,13 @@ __all__ = [
     "JoinAlgorithm",
     "OptimizationResult",
     "OptimizationTimeout",
+    "QueryBudget",
+    "Deadline",
+    "CancellationToken",
+    "QueryAborted",
+    "AbortCause",
+    "ManualClock",
+    "SteppingClock",
     "StatisticsCatalog",
     "CostParameters",
     "Dataset",

@@ -42,6 +42,19 @@ on and exports the span tree — Chrome trace-event JSON by default
 ``--trace PATH`` flag on ``optimize`` / ``run`` / ``demo`` does the
 same export for those commands.
 
+Lifecycle governance (see ``docs/RESILIENCE.md``)::
+
+    python -m repro run query.sparql --data data.nt --deadline 5
+    python -m repro run query.sparql --data data.nt --row-budget 100000
+    python -m repro optimize query.sparql --deadline 1 --anytime
+
+``--deadline`` bounds the whole query lifecycle in seconds and
+``--row-budget`` caps the intermediate rows execution may produce; a
+breach prints a structured abort report and exits with status 4.  With
+``--anytime``, an optimizer deadline degrades to the best complete
+plan found so far instead of failing.  ``--timeout`` remains as a
+deprecated alias for ``--deadline``.
+
 Every subcommand funnels its flags through one
 :class:`~repro.core.session.OptimizeOptions` builder (see
 ``docs/API.md`` for the flag-to-field mapping), so the CLI and the
@@ -56,7 +69,7 @@ import sys
 from pathlib import Path
 
 from .analysis import InvariantViolation
-from .core import StatisticsCatalog
+from .core import QueryAborted, StatisticsCatalog
 from .core.serialize import plan_to_dot, plan_to_json
 from .core.session import OptimizeOptions, Optimizer
 from .engine import Cluster, Executor
@@ -110,7 +123,12 @@ def build_options(args: argparse.Namespace, **overrides) -> OptimizeOptions:
     fields = dict(
         algorithm=getattr(args, "algorithm", None) or "td-auto",
         partitioning=_partitioning(getattr(args, "partitioning", None)),
+        # --timeout is the deprecated alias; OptimizeOptions folds it
+        # into deadline_seconds (and warns once) when --deadline is unset
         timeout_seconds=getattr(args, "timeout", None),
+        deadline_seconds=getattr(args, "deadline", None),
+        row_budget=getattr(args, "row_budget", None),
+        anytime=getattr(args, "anytime", False),
         seed=getattr(args, "seed", 0),
         jobs=getattr(args, "jobs", 1),
         verify=getattr(args, "verify", False),
@@ -211,10 +229,21 @@ def cmd_run(args: argparse.Namespace) -> int:
     method = _partitioning(args.partitioning) or HashSubjectObject()
     statistics = StatisticsCatalog.from_dataset(query, dataset)
     session = _make_session(args, statistics=statistics, partitioning=method)
+    # one budget spans the whole lifecycle: the optimizer and the
+    # executor charge the same envelope
+    budget = session.budget_for(query)
     try:
-        result = session.optimize(query)
+        result = session.optimize(query, budget=budget)
     except InvariantViolation as violation:
         raise SystemExit(f"plan verification failed: {violation.describe()}")
+    except QueryAborted as abort:
+        print(abort.describe(), file=sys.stderr)
+        return 4
+    if result.stats.degraded:
+        print(
+            f"# degraded: {result.algorithm} ({result.stats.degradation_reason})",
+            file=sys.stderr,
+        )
     verifier = None
     if args.verify:
         from .analysis import PlanVerifier, VerificationContext, profile_for_algorithm
@@ -248,8 +277,15 @@ def cmd_run(args: argparse.Namespace) -> int:
             plan_verifier=verifier,
             engine=session.options.engine,
         )
-        with session.tracing():
-            relation, metrics = executor.execute(result.plan, query)
+        try:
+            with session.tracing():
+                relation, metrics = executor.execute(
+                    result.plan, query, budget=budget
+                )
+        except QueryAborted as abort:
+            print(abort.describe(), file=sys.stderr)
+            _export_trace(session, args.trace)
+            return 4
         for key, value in metrics.summary().items():
             print(f"# {key}: {value}", file=sys.stderr)
         if metrics.fault_injection_enabled and cluster.failed_workers:
@@ -445,7 +481,36 @@ def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--algorithm", default="td-auto")
     common.add_argument("--partitioning", choices=sorted(PARTITIONINGS), default=None)
-    common.add_argument("--timeout", type=float, default=None)
+    common.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="DEPRECATED alias for --deadline (optimizer-only in older "
+        "releases; now folds into the lifecycle deadline)",
+    )
+    common.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds for the whole query lifecycle "
+        "(optimization and execution); a breach aborts with a structured "
+        "report (exit status 4)",
+    )
+    common.add_argument(
+        "--row-budget",
+        type=int,
+        default=None,
+        dest="row_budget",
+        help="ceiling on intermediate rows execution may produce; a "
+        "breach aborts with a structured report (exit status 4)",
+    )
+    common.add_argument(
+        "--anytime",
+        action="store_true",
+        help="degrade gracefully when the deadline fires during "
+        "optimization: return the best complete plan found so far "
+        "(greedy fallback if none) instead of failing",
+    )
     common.add_argument("--workers", type=int, default=10)
     common.add_argument("--seed", type=int, default=0)
     common.add_argument(

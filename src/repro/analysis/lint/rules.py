@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (LINT001–LINT004).
+"""The repo-specific lint rules (LINT001–LINT005).
 
 Each rule is an AST pass producing :class:`~.diagnostics.Diagnostic`
 findings.  The rules encode defect classes this repo has actually
@@ -19,6 +19,13 @@ shipped or is structurally exposed to:
   cache-rebuild drift hides.
 * **LINT004** — mutable default arguments (``def f(x=[])``), the
   classic shared-state trap.
+* **LINT005** — ambient wall-clock reads (``time.time()`` /
+  ``time.monotonic()``) in ``core/`` / ``engine/`` outside the one
+  sanctioned clock module (``core/governance.py``).  Deadlines are
+  data: control flow must go through an injectable
+  :class:`~repro.core.governance.Clock`, or expiry becomes untestable
+  and chaos runs irreproducible.  ``time.perf_counter()`` stays legal —
+  it only *measures* elapsed wall time for reports, it never decides.
 """
 
 from __future__ import annotations
@@ -462,6 +469,74 @@ def check_mutable_defaults(tree: ast.Module, path: str) -> List[Diagnostic]:
 
 
 # ----------------------------------------------------------------------
+# LINT005: ambient wall-clock reads in clock-governed modules
+# ----------------------------------------------------------------------
+
+#: modules whose control flow must read time through a governance clock
+CLOCK_GOVERNED_PARTS = ("core", "engine")
+#: the one module allowed to touch the wall clock (it *defines* the
+#: production :class:`~repro.core.governance.Clock`)
+_SANCTIONED_CLOCK_FILES = {"governance.py"}
+#: ``time`` attributes that decide control flow when read ambiently
+#: (``perf_counter`` is exempt: it measures, it never decides)
+_WALL_CLOCK_FUNCTIONS = {"time", "monotonic"}
+
+
+def check_wall_clock(tree: ast.Module, path: str) -> List[Diagnostic]:
+    """LINT005: direct wall-clock reads outside the sanctioned clock."""
+    parts = _parts(path)
+    if not any(part in CLOCK_GOVERNED_PARTS for part in parts):
+        return []
+    if _is_test_path(path):
+        return []
+    if parts and parts[-1] in _SANCTIONED_CLOCK_FILES:
+        return []
+    findings: List[Diagnostic] = []
+
+    def flag(node: ast.AST, message: str) -> None:
+        findings.append(
+            Diagnostic(
+                path=path,
+                line=node.lineno,
+                column=node.col_offset + 1,
+                code="LINT005",
+                severity=Severity.ERROR,
+                message=message,
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            bad = [
+                alias.name
+                for alias in node.names
+                if alias.name in _WALL_CLOCK_FUNCTIONS
+            ]
+            if bad:
+                flag(
+                    node,
+                    f"from time import {', '.join(bad)} reads the ambient "
+                    "wall clock; deadlines must go through a "
+                    "repro.core.governance Clock (ManualClock in tests)",
+                )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+                and func.attr in _WALL_CLOCK_FUNCTIONS
+            ):
+                flag(
+                    node,
+                    f"time.{func.attr}() reads the ambient wall clock for "
+                    "control flow; thread a repro.core.governance Deadline "
+                    "(its Clock is injectable, so tests can force expiry)",
+                )
+    return findings
+
+
+# ----------------------------------------------------------------------
 # the rule registry
 # ----------------------------------------------------------------------
 
@@ -470,6 +545,7 @@ RULES = {
     "LINT002": check_unseeded_random,
     "LINT003": check_float_equality,
     "LINT004": check_mutable_defaults,
+    "LINT005": check_wall_clock,
 }
 
 

@@ -33,7 +33,19 @@ from .enumeration import (
     OptimizationTimeout,
     TopDownEnumerator,
 )
-from .enumeration import SubqueryRecord
+from .enumeration import SubqueryRecord, greedy_fallback_plan
+from .governance import (
+    AbortCause,
+    AnytimeExpiry,
+    CancellationToken,
+    Clock,
+    Deadline,
+    ManualClock,
+    MonotonicClock,
+    QueryAborted,
+    QueryBudget,
+    SteppingClock,
+)
 from .join_graph import JoinGraph, QueryShape
 from .local_query import LocalQueryIndex
 from .optimizer import (
@@ -117,4 +129,15 @@ __all__ = [
     "PlanCache",
     "PlanCacheStats",
     "query_signature",
+    "AbortCause",
+    "AnytimeExpiry",
+    "CancellationToken",
+    "Clock",
+    "Deadline",
+    "ManualClock",
+    "MonotonicClock",
+    "QueryAborted",
+    "QueryBudget",
+    "SteppingClock",
+    "greedy_fallback_plan",
 ]

@@ -28,6 +28,7 @@ from typing import Optional
 from ..observability import runtime as obs
 from .cost import PlanBuilder
 from .enumeration import OptimizationResult, TopDownEnumerator
+from .governance import QueryBudget
 from .join_graph import JoinGraph
 from .local_query import LocalQueryIndex
 from .pruning import PrunedTopDownEnumerator
@@ -72,12 +73,14 @@ class AutonomousOptimizer:
         builder: PlanBuilder,
         local_index: Optional[LocalQueryIndex] = None,
         timeout_seconds: Optional[float] = None,
+        budget: Optional[QueryBudget] = None,
         thresholds: AutoThresholds = PAPER_THRESHOLDS,
     ) -> None:
         self.join_graph = join_graph
         self.builder = builder
         self.local_index = local_index
         self.timeout_seconds = timeout_seconds
+        self.budget = budget
         self.thresholds = thresholds
 
     def optimize(self) -> OptimizationResult:
@@ -101,11 +104,15 @@ class AutonomousOptimizer:
             self.builder,
             local_index=self.local_index,
             timeout_seconds=self.timeout_seconds,
+            budget=self.budget,
         )
         result = inner.optimize()
+        # keep any [anytime]/[anytime-greedy] suffix the inner variant
+        # attached, so degraded plans stay recognizable through TD-Auto
+        suffix = result.algorithm[len(inner.algorithm_name):]
         return OptimizationResult(
             plan=result.plan,
-            algorithm=f"{self.algorithm_name}[{choice}]",
+            algorithm=f"{self.algorithm_name}[{choice}]{suffix}",
             stats=result.stats,
             elapsed_seconds=result.elapsed_seconds,
         )

@@ -26,6 +26,7 @@ from ..rdf.terms import Variable
 from . import bitset as bs
 from .cmd import enumerate_cmds
 from .cost import PlanBuilder
+from .governance import AnytimeExpiry, Deadline, QueryBudget
 from .join_graph import JoinGraph
 from .local_query import LocalQueryIndex
 from .plans import JoinAlgorithm, PlanNode
@@ -99,6 +100,10 @@ class EnumerationStats:
     per_worker_seconds: List[float] = field(default_factory=list)
     #: Σ worker seconds / parallel wall seconds (parallel search only)
     speedup: float = 0.0
+    #: anytime mode returned a degraded (best-so-far / greedy) plan
+    degraded: bool = False
+    #: why the search degraded ("" unless :attr:`degraded`)
+    degradation_reason: str = ""
 
     def summary(self) -> Dict[str, float]:
         """The headline counters as a flat dictionary.
@@ -118,6 +123,8 @@ class EnumerationStats:
         if self.workers > 1:
             data["workers"] = self.workers
             data["speedup"] = self.speedup
+        if self.degraded:
+            data["degraded"] = 1.0
         return data
 
     def flush_to_metrics(self) -> None:
@@ -140,6 +147,8 @@ class EnumerationStats:
             ("local_short_circuits", self.local_short_circuits),
         ):
             registry.counter(f"optimizer.{name}").inc(value)
+        if self.degraded:
+            registry.counter("governance.degraded").inc()
 
 
 @dataclass
@@ -171,16 +180,27 @@ class TopDownEnumerator:
         builder: PlanBuilder,
         local_index: Optional[LocalQueryIndex] = None,
         timeout_seconds: Optional[float] = None,
+        budget: Optional[QueryBudget] = None,
     ) -> None:
         self.join_graph = join_graph
         self.builder = builder
         self.local_index = local_index or LocalQueryIndex(join_graph, None)
         self.timeout_seconds = timeout_seconds
+        #: governance envelope; when None, ``timeout_seconds`` (the
+        #: enumerator-level convenience the experiment harness uses)
+        #: becomes a strict deadline-only budget at optimize() time
+        self.budget = budget
         self.stats = EnumerationStats()
         #: exclusive counters per expanded subquery, for parallel merging
         self.subquery_records: Dict[int, SubqueryRecord] = {}
         self._memo: Dict[int, PlanNode] = {}
-        self._deadline: Optional[float] = None
+        self._budget: Optional[QueryBudget] = None
+        self._anytime = False
+        self._root_bits = 0
+        self._root_seed: Optional[PlanNode] = None
+        self._root_choice: Optional[
+            Tuple[JoinAlgorithm, List[PlanNode], Optional[Variable]]
+        ] = None
 
     def invariant_profile(self) -> InvariantProfile:
         """The optional invariants this enumerator's plans satisfy.
@@ -194,28 +214,44 @@ class TopDownEnumerator:
     # entry point
     # ------------------------------------------------------------------
     def optimize(self) -> OptimizationResult:
-        """Find the best plan for the whole query."""
+        """Find the best plan for the whole query.
+
+        With a deadline and ``anytime`` on, expiry mid-search degrades
+        to the best *complete* plan found so far (the best root
+        candidate materialized from fully-optimized children, else the
+        root's flat local plan, else the greedy fallback) instead of
+        raising; the result is flagged ``stats.degraded`` and the
+        algorithm label gains an ``[anytime]`` suffix.  Without
+        ``anytime``, expiry raises :class:`OptimizationTimeout` exactly
+        as it always did.
+        """
         full = self.join_graph.full
         if not self.join_graph.is_connected(full):
             raise CartesianProductError(
                 "query is disconnected; Cartesian-product-free plans do not exist"
             )
         started = time.perf_counter()
-        self._deadline = (
-            started + self.timeout_seconds if self.timeout_seconds else None
-        )
+        self._budget = self._resolve_budget()
+        self._anytime = self._budget is not None and self._budget.anytime
+        self._root_bits = full
+        self._root_seed = None
+        self._root_choice = None
+        algorithm = self.algorithm_name
         with obs.span(
             "enumerate",
             algorithm=self.algorithm_name,
             patterns=self.join_graph.size,
         ) as sp:
-            plan = self.get_best_plan(full, is_local=False)
+            try:
+                plan = self.get_best_plan(full, is_local=False)
+            except AnytimeExpiry:
+                plan, algorithm = self._degraded_plan()
             elapsed = time.perf_counter() - started
             sp.set(cost=plan.cost, **self.stats.summary())
             self.stats.flush_to_metrics()
         return OptimizationResult(
             plan=plan,
-            algorithm=self.algorithm_name,
+            algorithm=algorithm,
             stats=self.stats,
             elapsed_seconds=elapsed,
         )
@@ -249,11 +285,14 @@ class TopDownEnumerator:
         self.subquery_records[bits] = record
         if bs.popcount(bits) == 1:
             return self.builder.scan(bs.lowest_index(bits))
+        anytime_root = self._anytime and bits == self._root_bits
         best: Optional[PlanNode] = None
         if is_local:
             best = self.builder.local_join_plan(bits)
             record.plans_considered += 1
             self.stats.plans_considered += 1
+            if anytime_root:
+                self._root_seed = best
             if self.local_short_circuit:
                 record.local_short_circuits += 1
                 self.stats.local_short_circuits += 1
@@ -283,6 +322,11 @@ class TopDownEnumerator:
                 if cost < best_cost:
                     best_cost = cost
                     best_choice = (operator, children, variable)
+                    if anytime_root:
+                        # every root candidate's children are complete
+                        # memoized plans, so this is always a complete
+                        # plan — exactly what anytime mode returns
+                        self._root_choice = best_choice
         if best_choice is not None:
             operator, children, variable = best_choice
             best = self.builder.join(operator, children, variable)
@@ -306,8 +350,99 @@ class TopDownEnumerator:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+    def _resolve_budget(self) -> Optional[QueryBudget]:
+        """The effective budget: explicit, or one from ``timeout_seconds``."""
+        if self.budget is not None:
+            return self.budget
+        if self.timeout_seconds is not None:
+            return QueryBudget(deadline=Deadline.after(self.timeout_seconds))
+        return None
+
     def _check_deadline(self) -> None:
-        if self._deadline is not None and time.perf_counter() > self._deadline:
+        budget = self._budget
+        if budget is None:
+            return
+        budget.check_cancelled(phase="optimize")
+        deadline = budget.deadline
+        if deadline is not None and deadline.expired:
+            if self._anytime:
+                raise AnytimeExpiry()
             raise OptimizationTimeout(
-                f"{self.algorithm_name} exceeded {self.timeout_seconds:.0f}s"
+                f"{self.algorithm_name} exceeded {deadline.seconds:.0f}s"
             )
+
+    def _degraded_plan(self) -> Tuple[PlanNode, str]:
+        """The anytime answer after expiry: best-so-far, else greedy.
+
+        Degradation ladder (docs/RESILIENCE.md): (1) the best complete
+        root candidate recorded during search, (2) the root's flat
+        local seed plan, (3) the greedy fallback planner.  The returned
+        label keeps the algorithm name as a prefix so
+        ``profile_for_algorithm`` still applies the right verifier
+        profile to anytime plans.
+        """
+        plan: Optional[PlanNode] = None
+        if self._root_choice is not None:
+            operator, children, variable = self._root_choice
+            plan = self.builder.join(operator, children, variable)
+        elif self._root_seed is not None:
+            plan = self._root_seed
+        if plan is not None:
+            label = f"{self.algorithm_name}[anytime]"
+            reason = "deadline: returned best complete plan so far"
+        else:
+            plan = greedy_fallback_plan(self.builder)
+            label = f"{self.algorithm_name}[anytime-greedy]"
+            reason = "deadline: no complete candidate; greedy fallback"
+        self.stats.degraded = True
+        self.stats.degradation_reason = reason
+        obs.event("governance.degraded", algorithm=label, reason=reason)
+        obs.count("governance.anytime_plans")
+        return plan, label
+
+
+def greedy_fallback_plan(builder: PlanBuilder) -> PlanNode:
+    """A complete plan in O(n³) time: the anytime last resort.
+
+    Greedily merges the two connected frontier plans whose combined
+    subquery has the smallest estimated cardinality, joining them with
+    a binary repartition join on their lexicographically first shared
+    variable.  Never optimal, but always Cartesian-product-free,
+    costed by the same builder arithmetic as every other plan, and —
+    having no broadcasts and no local joins — trivially satisfies every
+    optional verifier profile, so anytime-greedy plans pass
+    :class:`~repro.analysis.plan_verifier.PlanVerifier` unchanged.
+    """
+    join_graph = builder.join_graph
+    frontier: List[PlanNode] = [
+        builder.scan(index) for index in range(join_graph.size)
+    ]
+    while len(frontier) > 1:
+        best_pair: Optional[Tuple[int, int]] = None
+        best_key: Optional[Tuple[float, int]] = None
+        for i in range(len(frontier)):
+            for j in range(i + 1, len(frontier)):
+                combined = frontier[i].bits | frontier[j].bits
+                if not join_graph.shared_variables(
+                    frontier[i].bits, frontier[j].bits
+                ):
+                    continue
+                key = (builder.estimator.cardinality(combined), combined)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_pair = (i, j)
+        if best_pair is None:
+            raise CartesianProductError(
+                "greedy fallback found no connected pair to merge"
+            )
+        i, j = best_pair
+        shared = join_graph.shared_variables(frontier[i].bits, frontier[j].bits)
+        variable = sorted(shared, key=lambda v: v.name)[0]
+        joined = builder.join(
+            JoinAlgorithm.REPARTITION, [frontier[i], frontier[j]], variable
+        )
+        frontier = [
+            plan for k, plan in enumerate(frontier) if k != i and k != j
+        ]
+        frontier.append(joined)
+    return frontier[0]

@@ -162,7 +162,11 @@ def optimize(
             dataset=dataset,
             partitioning=partitioning,
             parameters=parameters,
-            timeout_seconds=timeout_seconds,
+            # mapped straight to the governance deadline: this facade is
+            # already the compatibility layer, so its own timeout kwarg
+            # does not re-trigger the OptimizeOptions.timeout_seconds
+            # deprecation warning
+            deadline_seconds=timeout_seconds,
             seed=seed,
             plan_cache=plan_cache,
             jobs=jobs,

@@ -33,7 +33,8 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as wait_futures
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..observability import runtime as obs
@@ -51,6 +52,13 @@ from .enumeration import (
     SubqueryRecord,
     TopDownEnumerator,
 )
+from .governance import (
+    AbortCause,
+    CancellationToken,
+    Deadline,
+    QueryAborted,
+    QueryBudget,
+)
 from .local_query import LocalQueryIndex
 from .optimizer import (
     PARALLELIZABLE_ALGORITHMS,
@@ -61,6 +69,9 @@ from .optimizer import (
 from .plan_cache import PlanCache
 from .plans import JoinAlgorithm
 from .pruning import PrunedTopDownEnumerator
+
+#: how often the driver polls the cancellation token while a pool runs
+_CANCEL_POLL_SECONDS = 0.05
 
 #: one optimization request: a query, optionally paired with statistics
 #: (tuples and objects with ``query``/``statistics`` attributes, e.g.
@@ -127,18 +138,33 @@ def _intra_query_worker(payload: tuple) -> Dict[str, Any]:
         algorithm_key,
         partitioning,
         parameters,
-        timeout_seconds,
+        deadline_remaining,
+        anytime,
         slice_index,
         slice_count,
         trace,
     ) = payload
     builder = make_builder(query, statistics, parameters=parameters)
     local_index = LocalQueryIndex(builder.join_graph, partitioning)
+    # deadlines do not cross process boundaries (clocks are not
+    # picklable); the driver ships the *remaining* seconds and each
+    # worker re-anchors them on its own monotonic clock
+    budget: Optional[QueryBudget] = None
+    if deadline_remaining is not None or anytime:
+        budget = QueryBudget(
+            deadline=(
+                Deadline.after(deadline_remaining)
+                if deadline_remaining is not None
+                else None
+            ),
+            anytime=anytime,
+            query_id=query.name or "",
+        )
     enumerator = _SLICED[algorithm_key](
         builder.join_graph,
         builder,
         local_index=local_index,
-        timeout_seconds=timeout_seconds,
+        budget=budget,
     )
     enumerator.slice_index = slice_index
     enumerator.slice_count = slice_count
@@ -154,7 +180,8 @@ def _intra_query_worker(payload: tuple) -> Dict[str, Any]:
         result = enumerator.optimize()
     elapsed = time.perf_counter() - started
     full = builder.join_graph.full
-    root_record = enumerator.subquery_records.pop(full)
+    # an anytime deadline can expire before the root's record exists
+    root_record = enumerator.subquery_records.pop(full, SubqueryRecord())
     return {
         "plan": result.plan,
         "cost": result.plan.cost,
@@ -163,6 +190,8 @@ def _intra_query_worker(payload: tuple) -> Dict[str, Any]:
         "memo_hits": result.stats.memo_hits,
         "subqueries": result.stats.subqueries_expanded,
         "elapsed": elapsed,
+        "degraded": result.stats.degraded,
+        "degradation_reason": result.stats.degradation_reason,
         "trace": tracer.to_payload() if tracer is not None else None,
     }
 
@@ -203,6 +232,48 @@ def _merge_worker_stats(
     )
 
 
+def _run_cancellable(
+    payloads: Sequence[tuple],
+    worker: Any,
+    max_workers: int,
+    cancellation: CancellationToken,
+    query_id: str = "",
+) -> List[Any]:
+    """Drive *worker* over *payloads*, polling a driver-side cancel token.
+
+    Tokens do not cross process boundaries, so cancellation is enforced
+    here: between completions the driver re-checks the token and, once
+    it fires, abandons the pool (``shutdown(wait=False)`` — queued work
+    is cancelled, running workers are orphaned rather than joined) so
+    the abort surfaces within one poll interval.  Results come back in
+    payload order.
+    """
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    try:
+        futures = [pool.submit(worker, payload) for payload in payloads]
+        not_done = set(futures)
+        while not_done:
+            done, not_done = wait_futures(
+                not_done,
+                timeout=_CANCEL_POLL_SECONDS,
+                return_when=FIRST_COMPLETED,
+            )
+            for future in done:
+                future.result()  # surface worker errors promptly
+            if cancellation.cancelled and not_done:
+                reason = cancellation.reason
+                raise QueryAborted(
+                    f"cancelled: {reason}" if reason else "cancelled",
+                    cause=AbortCause.CANCELLED,
+                    query_id=query_id,
+                    phase="optimize",
+                )
+        return [future.result() for future in futures]
+    finally:
+        # wait=False: a cancelled pool must not join still-running workers
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
 def optimize_query_parallel(
     query: BGPQuery,
     algorithm: str = "td-cmd",
@@ -213,6 +284,7 @@ def optimize_query_parallel(
     parameters: CostParameters = PAPER_PARAMETERS,
     timeout_seconds: Optional[float] = None,
     seed: int = 0,
+    budget: Optional[QueryBudget] = None,
 ) -> OptimizationResult:
     """Optimize one query with the root division space split across workers.
 
@@ -222,6 +294,13 @@ def optimize_query_parallel(
     identical to the serial search; degenerate cases (one job, a root
     with fewer divisions than workers, or a Rule-3 local short-circuit
     at the root) transparently fall back to the serial path.
+
+    With a *budget*, the remaining deadline allowance and the anytime
+    flag travel to every worker (re-anchored on the worker's clock);
+    the cancellation token stays driver-side — the driver polls it
+    between completions and abandons the pool on cancel, since tokens
+    do not cross process boundaries.  Any worker degrading marks the
+    merged result degraded.
     """
     key = algorithm.lower()
     if key not in PARALLELIZABLE_ALGORITHMS:
@@ -230,6 +309,8 @@ def optimize_query_parallel(
             f"not {algorithm!r}"
         )
     started = time.perf_counter()
+    if budget is not None:
+        budget.check_cancelled(phase="optimize")
     statistics = resolve_statistics(query, statistics, dataset, seed)
     builder = make_builder(query, statistics, parameters=parameters)
     join_graph = builder.join_graph
@@ -240,24 +321,38 @@ def optimize_query_parallel(
     local_index = LocalQueryIndex(join_graph, partitioning)
     probe = _SERIAL[key](join_graph, builder, local_index=local_index)
     root_is_local = local_index.is_local(join_graph.full)
-    serial_kwargs = dict(
-        algorithm=key,
-        statistics=statistics,
-        partitioning=partitioning,
-        parameters=parameters,
-        timeout_seconds=timeout_seconds,
-    )
+
+    def serial_fallback() -> OptimizationResult:
+        if budget is None:
+            return optimize(
+                query,
+                algorithm=key,
+                statistics=statistics,
+                partitioning=partitioning,
+                parameters=parameters,
+                timeout_seconds=timeout_seconds,
+            )
+        enumerator = _SERIAL[key](
+            join_graph, builder, local_index=local_index, budget=budget
+        )
+        return enumerator.optimize()
+
     if root_is_local and probe.local_short_circuit:
         # Rule 3 answers the root immediately; nothing to parallelize
-        return optimize(query, **serial_kwargs)
+        return serial_fallback()
     # the raw generator when available (`_divisions`): the probe pass only
     # counts divisions, and must not inflate the `pruning.*` trace counters
     probe_divisions = getattr(probe, "_divisions", probe.divisions)
     root_division_count = sum(1 for _ in probe_divisions(join_graph.full))
     jobs = max(1, min(jobs, root_division_count))
     if jobs <= 1:
-        return optimize(query, **serial_kwargs)
+        return serial_fallback()
     tracer = obs.current_tracer()
+    if budget is not None and budget.deadline is not None:
+        deadline_remaining: Optional[float] = budget.deadline.remaining()
+    else:
+        deadline_remaining = timeout_seconds
+    anytime = budget.anytime if budget is not None else False
     payloads = [
         (
             query,
@@ -265,7 +360,8 @@ def optimize_query_parallel(
             key,
             partitioning,
             parameters,
-            timeout_seconds,
+            deadline_remaining,
+            anytime,
             index,
             jobs,
             tracer is not None,
@@ -280,8 +376,18 @@ def optimize_query_parallel(
     ) as parallel_span:
         dispatch_at = tracer.now() if tracer is not None else 0.0
         spawn_started = time.perf_counter()
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            outcomes = list(pool.map(_intra_query_worker, payloads))
+        cancellation = budget.cancellation if budget is not None else None
+        if cancellation is None:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                outcomes = list(pool.map(_intra_query_worker, payloads))
+        else:
+            outcomes = _run_cancellable(
+                payloads,
+                _intra_query_worker,
+                jobs,
+                cancellation,
+                query_id=budget.query_id if budget is not None else "",
+            )
         wall = time.perf_counter() - spawn_started
         if tracer is not None:
             parent = parallel_span if isinstance(parallel_span, Span) else None
@@ -297,9 +403,17 @@ def optimize_query_parallel(
         parallel_span.set(wall_seconds=wall)
     best = min(enumerate(outcomes), key=lambda item: (item[1]["cost"], item[0]))[1]
     stats = _merge_worker_stats(outcomes, root_is_local, wall)
+    label = f"{probe.algorithm_name}[parallel x{jobs}]"
+    degraded = [o for o in outcomes if o["degraded"]]
+    if degraded:
+        # any slice expiring means the merged search did not cover the
+        # whole root space — the merged result is degraded as a whole
+        stats.degraded = True
+        stats.degradation_reason = degraded[0]["degradation_reason"]
+        label += "[anytime]"
     return OptimizationResult(
         plan=best["plan"],
-        algorithm=f"{probe.algorithm_name}[parallel x{jobs}]",
+        algorithm=label,
         stats=stats,
         elapsed_seconds=time.perf_counter() - started,
     )
@@ -348,6 +462,7 @@ def optimize_many(
     timeout_seconds: Optional[float] = None,
     seed: int = 0,
     plan_cache: Optional[PlanCache] = None,
+    cancellation: Optional[CancellationToken] = None,
 ) -> List[OptimizationResult]:
     """Optimize a batch of queries across a process pool.
 
@@ -362,6 +477,11 @@ def optimize_many(
     — repeated queries never reach the pool — and fresh results are
     stored on completion.  ``jobs`` defaults to the machine's available
     CPUs; ``jobs=1`` (or a batch of one) skips the pool entirely.
+
+    A *cancellation* token stops the batch promptly: the serial path
+    re-checks it before every query, and the pool path polls it between
+    completions (see :func:`_run_cancellable`), raising
+    :class:`QueryAborted` with :attr:`AbortCause.CANCELLED`.
     """
     requests = [_normalize_request(item) for item in items]
     resolved = [
@@ -394,7 +514,21 @@ def optimize_many(
     ]
     if jobs <= 1 or len(pending) <= 1:
         for index, payload in zip(pending, payloads):
+            if cancellation is not None and cancellation.cancelled:
+                reason = cancellation.reason
+                raise QueryAborted(
+                    f"cancelled: {reason}" if reason else "cancelled",
+                    cause=AbortCause.CANCELLED,
+                    query_id=resolved[index][0].name or "",
+                    phase="optimize",
+                )
             results[index] = _batch_worker(payload)
+    elif cancellation is not None:
+        workers = min(jobs, len(pending))
+        for index, result in zip(
+            pending, _run_cancellable(payloads, _batch_worker, workers, cancellation)
+        ):
+            results[index] = result
     else:
         workers = min(jobs, len(pending))
         chunksize = max(1, len(pending) // (workers * 4))

@@ -29,6 +29,7 @@ from . import bitset as bs
 from .cmd import enumerate_cbds, enumerate_ccmds, enumerate_cmds
 from .cost import PlanBuilder
 from .enumeration import InvariantProfile, TopDownEnumerator
+from .governance import QueryBudget
 from .join_graph import JoinGraph
 from .local_query import LocalQueryIndex
 from .plans import JoinAlgorithm
@@ -45,12 +46,13 @@ class PrunedTopDownEnumerator(TopDownEnumerator):
         builder: PlanBuilder,
         local_index: Optional[LocalQueryIndex] = None,
         timeout_seconds: Optional[float] = None,
+        budget: Optional[QueryBudget] = None,
         *,
         rule1_ccmd_only: bool = True,
         rule2_binary_broadcast: bool = True,
         rule3_local_short_circuit: bool = True,
     ) -> None:
-        super().__init__(join_graph, builder, local_index, timeout_seconds)
+        super().__init__(join_graph, builder, local_index, timeout_seconds, budget)
         self.rule1_ccmd_only = rule1_ccmd_only
         self.rule2_binary_broadcast = rule2_binary_broadcast
         self.local_short_circuit = rule3_local_short_circuit  # Rule 3

@@ -35,6 +35,7 @@ from .enumeration import (
     OptimizationResult,
     TopDownEnumerator,
 )
+from .governance import QueryBudget
 from .join_graph import JoinGraph
 from .local_query import LocalQueryIndex
 from .plans import JoinNode, PlanNode, ScanNode
@@ -176,11 +177,13 @@ class ReductionOptimizer:
         builder: PlanBuilder,
         local_index: Optional[LocalQueryIndex] = None,
         timeout_seconds: Optional[float] = None,
+        budget: Optional[QueryBudget] = None,
     ) -> None:
         self.join_graph = join_graph
         self.builder = builder
         self.local_index = local_index or LocalQueryIndex(join_graph, None)
         self.timeout_seconds = timeout_seconds
+        self.budget = budget
 
     def optimize(self) -> OptimizationResult:
         """Reduce, optimize the reduced graph, expand the plan."""
@@ -212,14 +215,18 @@ class ReductionOptimizer:
             reduced_builder,
             local_index=None,
             timeout_seconds=self.timeout_seconds,
+            budget=self.budget,
         )
         with obs.span("jgr.optimize_reduced", parts=len(parts)):
             reduced_result = inner.optimize()
         with obs.span("jgr.expand"):
             plan = self._expand(reduced_result.plan, parts)
+        # the inner search degrading (anytime deadline) degrades the
+        # expanded plan too; keep the suffix visible in the label
+        suffix = reduced_result.algorithm[len(inner.algorithm_name):]
         return OptimizationResult(
             plan=plan,
-            algorithm=self.algorithm_name,
+            algorithm=f"{self.algorithm_name}{suffix}",
             stats=reduced_result.stats,
             elapsed_seconds=time.perf_counter() - started,
         )

@@ -29,6 +29,7 @@ ballooning-signature path — passing session state (``plan_cache``,
 
 from __future__ import annotations
 
+import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from typing import Any, ContextManager, Dict, Iterable, List, Optional, Tuple
@@ -41,8 +42,12 @@ from ..sparql.ast import BGPQuery
 from .cardinality import StatisticsCatalog
 from .cost import CostParameters, PAPER_PARAMETERS
 from .enumeration import OptimizationResult
+from .governance import CancellationToken, Deadline, QueryBudget
 from .local_query import LocalQueryIndex
 from .plan_cache import PlanCache
+
+#: one DeprecationWarning per process for the timeout_seconds alias
+_timeout_shim_warned = False
 
 
 @dataclass
@@ -67,7 +72,8 @@ class OptimizeOptions:
     partitioning: Optional[PartitioningMethod] = None
     #: cost-model constants (defaults to the paper's Table II)
     parameters: CostParameters = field(default_factory=lambda: PAPER_PARAMETERS)
-    #: abort enumeration past this budget (paper: 600 s)
+    #: DEPRECATED alias for :attr:`deadline_seconds` (pre-governance
+    #: name; folded into it by ``__post_init__``, one warning per process)
     timeout_seconds: Optional[float] = None
     #: seed for synthetic statistics (the paper's random-statistics mode)
     seed: int = 0
@@ -83,6 +89,50 @@ class OptimizeOptions:
     #: options: ``"reference"`` (term tuples, the oracle) or
     #: ``"columnar"`` (dictionary-encoded ids with indexed scans)
     engine: str = "reference"
+    #: wall-clock deadline for each query's whole lifecycle (optimize,
+    #: and execution when the same budget is handed to the executor)
+    deadline_seconds: Optional[float] = None
+    #: ceiling on intermediate rows produced during execution
+    row_budget: Optional[int] = None
+    #: query-wide retry budget across all operators (on top of the
+    #: per-operator :class:`~repro.engine.recovery.RetryPolicy` cap)
+    retry_budget: Optional[int] = None
+    #: on optimizer deadline, return the best complete plan so far
+    #: (flagged ``stats.degraded``) instead of raising
+    anytime: bool = False
+    #: cooperative cancel flag shared with parallel search drivers
+    cancellation: Optional[CancellationToken] = None
+
+    def __post_init__(self) -> None:
+        if self.timeout_seconds is not None:
+            global _timeout_shim_warned
+            if not _timeout_shim_warned:
+                _timeout_shim_warned = True
+                warnings.warn(
+                    "OptimizeOptions.timeout_seconds is deprecated; use "
+                    "deadline_seconds (same semantics, plus anytime=True "
+                    "for graceful degradation)",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+            if self.deadline_seconds is None:
+                self.deadline_seconds = self.timeout_seconds
+
+    @property
+    def governed(self) -> bool:
+        """Whether any governance limit is configured.
+
+        False means :meth:`Optimizer.budget_for` returns ``None`` and
+        every budget check in the pipeline reduces to one ``is None``
+        test — the zero-cost-off guarantee.
+        """
+        return (
+            self.deadline_seconds is not None
+            or self.row_budget is not None
+            or self.retry_budget is not None
+            or self.cancellation is not None
+            or self.anytime
+        )
 
     def with_overrides(self, **overrides: Any) -> "OptimizeOptions":
         """A copy with *overrides* applied (``dataclasses.replace``)."""
@@ -143,8 +193,18 @@ class Optimizer:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def optimize(self, query: BGPQuery) -> OptimizationResult:
-        """Optimize one query under this session's options."""
+    def optimize(
+        self, query: BGPQuery, budget: Optional[QueryBudget] = None
+    ) -> OptimizationResult:
+        """Optimize one query under this session's options.
+
+        *budget* overrides the session-derived :meth:`budget_for`
+        envelope — pass one explicitly to share a single budget across
+        the query's whole lifecycle (optimize *and* execute), as the
+        CLI ``run`` command does.
+        """
+        if budget is None:
+            budget = self.budget_for(query)
         scope: ContextManager[object] = (
             obs.activate(self.tracer) if self.tracer is not None else nullcontext()
         )
@@ -155,7 +215,7 @@ class Optimizer:
                 algorithm=self.options.algorithm_key,
                 patterns=len(query),
             ) as root:
-                result = self._optimize(query)
+                result = self._optimize(query, budget)
                 root.set(
                     algorithm_used=result.algorithm,
                     cost=result.cost,
@@ -163,6 +223,32 @@ class Optimizer:
                     elapsed_seconds=result.elapsed_seconds,
                 )
                 return result
+
+    def budget_for(self, query: BGPQuery) -> Optional[QueryBudget]:
+        """A fresh :class:`QueryBudget` for *query*, or ``None``.
+
+        ``None`` exactly when no governance field is set
+        (:attr:`OptimizeOptions.governed`), so ungoverned sessions pay
+        nothing.  Each call starts a fresh deadline and fresh row/retry
+        counters; the cancellation token is shared session-wide (one
+        cancel stops every in-flight query of this session).
+        """
+        options = self.options
+        if not options.governed:
+            return None
+        deadline = (
+            Deadline.after(options.deadline_seconds)
+            if options.deadline_seconds is not None
+            else None
+        )
+        return QueryBudget(
+            deadline=deadline,
+            row_budget=options.row_budget,
+            retry_budget=options.retry_budget,
+            cancellation=options.cancellation,
+            anytime=options.anytime,
+            query_id=query.name or f"q{len(query)}",
+        )
 
     def tracing(self) -> ContextManager[object]:
         """Activate this session's tracer for work outside :meth:`optimize`.
@@ -228,11 +314,15 @@ class Optimizer:
     # ------------------------------------------------------------------
     # the optimization pipeline (one call)
     # ------------------------------------------------------------------
-    def _optimize(self, query: BGPQuery) -> OptimizationResult:
+    def _optimize(
+        self, query: BGPQuery, budget: Optional[QueryBudget]
+    ) -> OptimizationResult:
         from .optimizer import ALGORITHMS, PARALLELIZABLE_ALGORITHMS, make_builder
 
         options = self.options
         key = options.algorithm_key
+        if budget is not None:
+            budget.check_cancelled(phase="optimize")
         statistics = self.resolve_statistics(query)
         context = None
         if options.verify:
@@ -251,7 +341,7 @@ class Optimizer:
                 statistics=statistics,
                 partitioning=options.partitioning,
                 parameters=options.parameters,
-                timeout_seconds=options.timeout_seconds,
+                budget=budget,
             )
         else:
             with obs.span("build", patterns=len(query)):
@@ -265,7 +355,8 @@ class Optimizer:
                     builder.join_graph,
                     builder,
                     local_index=local_index,
-                    timeout_seconds=options.timeout_seconds,
+                    timeout_seconds=None,
+                    budget=budget,
                 )
             result = implementation.optimize()
         if context is not None:
@@ -276,7 +367,10 @@ class Optimizer:
                 sp.set(ok=report.ok)
                 obs.count("optimizer.verifications")
                 report.raise_if_failed()
-        if self.plan_cache is not None:
+        if self.plan_cache is not None and not result.stats.degraded:
+            # anytime-degraded plans are deliberately not cached: they
+            # are the best answer under *this* deadline, not the query's
+            # best plan, and must not shadow a future complete search
             self.plan_cache.store(
                 query, statistics, key, result, options.parameters,
                 options.partitioning,

@@ -33,6 +33,7 @@ from .mapreduce import (
 from .metrics import ExecutionMetrics, OperatorMetrics
 from .recovery import (
     DEFAULT_RETRY_POLICY,
+    CircuitBreaker,
     FaultToleranceError,
     RecoveryManager,
     RetryPolicy,
@@ -66,6 +67,7 @@ __all__ = [
     "default_models",
     "RetryPolicy",
     "RecoveryManager",
+    "CircuitBreaker",
     "FaultToleranceError",
     "DEFAULT_RETRY_POLICY",
     "Relation",

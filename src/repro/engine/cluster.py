@@ -17,7 +17,7 @@ original structures untouched.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..partitioning.base import Partitioning, PartitioningMethod, hash_term
 from ..rdf.dataset import Dataset
@@ -57,6 +57,9 @@ class Cluster:
         #: degraded-mode graph overrides: dead workers -> empty graph,
         #: re-route targets -> their graph merged with the lost partition
         self._override: Dict[int, RDFGraph] = {}
+        #: callbacks invoked by :meth:`heal` (e.g. a circuit breaker
+        #: closing once its quarantined workers come back)
+        self._heal_listeners: List[Callable[[], None]] = []
 
     @classmethod
     def build(
@@ -167,11 +170,21 @@ class Cluster:
         self._fragments.pop(target, None)
         return target, len(lost_graph)
 
+    def add_heal_listener(self, callback: Callable[[], None]) -> None:
+        """Register *callback* to run whenever the cluster heals."""
+        self._heal_listeners.append(callback)
+
     def heal(self) -> None:
-        """Resurrect every worker and restore the original layout."""
+        """Resurrect every worker and restore the original layout.
+
+        Heal listeners run afterwards, so anything tracking liveness
+        (the executor's circuit breaker) observes the healthy cluster.
+        """
         self._dead.clear()
         self._override.clear()
         self._fragments.clear()
+        for callback in self._heal_listeners:
+            callback()
 
     # ------------------------------------------------------------------
     # routing

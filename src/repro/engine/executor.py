@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis → core)
     from ..analysis.plan_verifier import PlanVerifier
 
 from ..core.cost import CostParameters, PAPER_PARAMETERS
+from ..core.governance import QueryAborted, QueryBudget
 from ..core.plans import JoinAlgorithm, JoinNode, PlanNode, ScanNode
 from ..observability import runtime as obs
 from ..observability.spans import NULL_SPAN, Span
@@ -44,7 +45,12 @@ from .cluster import Cluster
 from .columnar import EncodedRelation, multi_join_encoded, scan_pattern_encoded
 from .faults import FaultInjector
 from .metrics import ExecutionMetrics, OperatorMetrics
-from .recovery import DEFAULT_RETRY_POLICY, RecoveryManager, RetryPolicy
+from .recovery import (
+    DEFAULT_RETRY_POLICY,
+    CircuitBreaker,
+    RecoveryManager,
+    RetryPolicy,
+)
 from .relations import Relation, multi_join, scan_pattern
 
 DistributedRelation = List[Relation]
@@ -86,6 +92,7 @@ class Executor:
         retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
         plan_verifier: Optional["PlanVerifier"] = None,
         engine: str = "reference",
+        circuit_breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(
@@ -96,6 +103,12 @@ class Executor:
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy
         self.engine = engine
+        #: opt-in worker quarantine (changes seeded fault trajectories,
+        #: so it is never on by default); closes again when the cluster
+        #: heals
+        self.circuit_breaker = circuit_breaker
+        if circuit_breaker is not None:
+            cluster.add_heal_listener(circuit_breaker.reset)
         # engine dispatch, resolved once: the k-way join and the
         # repartition routing function (both bound methods read the
         # cluster's *current* liveness state at call time)
@@ -109,6 +122,7 @@ class Executor:
         #: verification raises before any operator runs (``--verify``)
         self.plan_verifier = plan_verifier
         self._recovery: Optional[RecoveryManager] = None
+        self._budget: Optional[QueryBudget] = None
         #: distributed relations computed but not yet consumed; a
         #: fail-stop migrates the dead worker's slice in each of them
         self._inflight: List[DistributedRelation] = []
@@ -117,12 +131,24 @@ class Executor:
     # public API
     # ------------------------------------------------------------------
     def execute(
-        self, plan: PlanNode, query: Optional[BGPQuery] = None
+        self,
+        plan: PlanNode,
+        query: Optional[BGPQuery] = None,
+        budget: Optional[QueryBudget] = None,
     ) -> Tuple[Relation, ExecutionMetrics]:
         """Run *plan*; return the (deduplicated, projected) result.
 
         When *query* is given and has a projection, the final relation
         is projected onto it.
+
+        A *budget* is checked at every operator boundary: the produced
+        rows are charged against its row budget, its deadline and
+        cancellation token are polled, and the recovery manager charges
+        every retry against its query-wide retry budget.  A breach
+        raises :class:`~repro.core.governance.QueryAborted` enriched
+        with the partial metrics, the fault-event attempt history, and
+        the open span trace — execution never degrades partially, there
+        is no partial answer to degrade to.
         """
         if self.plan_verifier is not None:
             self.plan_verifier.check(plan)
@@ -130,11 +156,17 @@ class Executor:
         if self.fault_injector is not None and self.fault_injector.active:
             self.fault_injector.reset()  # replay from the seed every run
             self._recovery = RecoveryManager(
-                self.cluster, self.fault_injector, self.retry_policy, self.parameters
+                self.cluster,
+                self.fault_injector,
+                self.retry_policy,
+                self.parameters,
+                budget=budget,
+                breaker=self.circuit_breaker,
             )
             metrics.fault_injection_enabled = True
         else:
             self._recovery = None
+        self._budget = budget
         self._inflight = []
         with obs.span(
             "execute",
@@ -143,13 +175,18 @@ class Executor:
             engine=self.engine,
         ) as sp:
             started = time.perf_counter()
-            distributed, critical = self._execute(plan, metrics)
-            result = self._collect(distributed)
-            if query is not None and query.projection:
-                result = result.project(query.projection)
-            if isinstance(result, EncodedRelation):
-                # late materialization: decode only the final rows
-                result = result.decode()
+            try:
+                distributed, critical = self._execute(plan, metrics)
+                result = self._collect(distributed)
+                if query is not None and query.projection:
+                    result = result.project(query.projection)
+                if isinstance(result, EncodedRelation):
+                    # late materialization: decode only the final rows
+                    result = result.decode()
+            except QueryAborted as abort:
+                metrics.wall_seconds = time.perf_counter() - started
+                self._enrich_abort(abort, metrics, query)
+                raise
             metrics.wall_seconds = time.perf_counter() - started
             metrics.result_rows = len(result)
             metrics.critical_path_cost = critical
@@ -166,6 +203,48 @@ class Executor:
                 self._flush_metrics(metrics)
         self._inflight = []
         return result, metrics
+
+    # ------------------------------------------------------------------
+    # governance
+    # ------------------------------------------------------------------
+    def _govern(self, op: OperatorMetrics) -> None:
+        """One operator-boundary budget check (no budget → no-op)."""
+        budget = self._budget
+        if budget is None:
+            return
+        budget.charge_rows(
+            op.tuples_produced, phase="execute", operator=op.operator
+        )
+        budget.check_deadline(phase="execute", operator=op.operator)
+        budget.check_cancelled(phase="execute", operator=op.operator)
+
+    def _enrich_abort(
+        self,
+        abort: QueryAborted,
+        metrics: ExecutionMetrics,
+        query: Optional[BGPQuery],
+    ) -> None:
+        """Attach execution context to an abort on its way out."""
+        metrics.abort_cause = abort.cause.value
+        if self._recovery is not None:
+            metrics.workers_failed = self._recovery.workers_failed
+        if abort.partial_metrics is None:
+            abort.partial_metrics = metrics
+        if not abort.query_id and query is not None:
+            abort.query_id = query.name or ""
+        if not abort.attempts and self._recovery is not None:
+            abort.attempts = tuple(self._recovery.injector.events)
+        if not abort.trace:
+            tracer = obs.current_tracer()
+            if tracer is not None:
+                abort.trace = tracer.open_span_names()
+        obs.count("governance.aborts")
+        obs.event(
+            "governance.abort",
+            cause=abort.cause.value,
+            phase=abort.phase,
+            operator=abort.operator,
+        )
 
     def _flush_metrics(self, metrics: ExecutionMetrics) -> None:
         """Mirror one execution's totals into the active metrics registry.
@@ -239,6 +318,7 @@ class Executor:
             if sp is not NULL_SPAN:
                 self._annotate(sp, op)
         metrics.operators.append(op)
+        self._govern(op)
         return relations, op.recovery_cost
 
     def _execute_join(
@@ -275,6 +355,7 @@ class Executor:
             if sp is not NULL_SPAN:
                 self._annotate(sp, op, simulated_cost=op.simulated_cost(self.parameters))
         metrics.operators.append(op)
+        self._govern(op)
         return result, child_critical + op.total_cost(self.parameters)
 
     @staticmethod

@@ -81,6 +81,9 @@ class ExecutionMetrics:
     critical_path_cost: float = 0.0
     fault_injection_enabled: bool = False
     workers_failed: int = 0
+    #: the :class:`~repro.core.governance.AbortCause` value when this
+    #: run was stopped by governance (empty for completed runs)
+    abort_cause: str = ""
 
     @property
     def total_tuples_read(self) -> int:
@@ -112,9 +115,13 @@ class ExecutionMetrics:
         """Σ priced recovery overhead across all operators."""
         return sum(op.recovery_cost for op in self.operators)
 
-    def summary(self) -> Dict[str, float]:
-        """The headline numbers as a flat dictionary."""
-        data = {
+    def summary(self) -> Dict[str, object]:
+        """The headline numbers as a flat dictionary.
+
+        Values are numeric except ``abort_cause`` (a string), which
+        only appears when governance stopped the run.
+        """
+        data: Dict[str, object] = {
             "result_rows": self.result_rows,
             "tuples_read": self.total_tuples_read,
             "tuples_shipped": self.total_tuples_shipped,
@@ -127,4 +134,6 @@ class ExecutionMetrics:
             data["retries"] = self.total_retries
             data["workers_failed"] = self.workers_failed
             data["recovery_cost"] = self.total_recovery_cost
+        if self.abort_cause:
+            data["abort_cause"] = self.abort_cause
         return data

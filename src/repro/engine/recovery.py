@@ -31,10 +31,12 @@ abort.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, List, Tuple, TYPE_CHECKING
+from typing import Callable, Deque, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..core.cost import CostParameters
+from ..core.governance import AbortCause, QueryAborted, QueryBudget
 from ..observability import runtime as obs
 from .faults import FaultEvent, FaultInjector, FaultKind
 from .metrics import OperatorMetrics
@@ -47,8 +49,96 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster imports noth
 AttemptRunner = Callable[[], Tuple[List[Relation], OperatorMetrics]]
 
 
-class FaultToleranceError(RuntimeError):
-    """Raised when an operator exhausts its retry budget (job abort)."""
+class FaultToleranceError(QueryAborted):
+    """Raised when an operator exhausts its retry budget (job abort).
+
+    A :class:`~repro.core.governance.QueryAborted` with cause
+    ``RETRY_EXHAUSTED``, so front-ends classify it with the rest of the
+    abort taxonomy; it carries the operator identity and the full
+    per-attempt :class:`~repro.engine.faults.FaultEvent` history.  The
+    message-only constructor form stays supported for back-compat.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        operator: str = "",
+        attempts: Tuple[FaultEvent, ...] = (),
+        query_id: str = "",
+    ) -> None:
+        super().__init__(
+            message,
+            cause=AbortCause.RETRY_EXHAUSTED,
+            query_id=query_id,
+            phase="execute",
+            operator=operator,
+            attempts=attempts,
+        )
+
+
+class CircuitBreaker:
+    """Quarantine workers that keep faulting (deterministic window).
+
+    The window is a count of recent fault *events*, not a wall-clock
+    interval, so seeded chaos runs trip it reproducibly: a worker
+    appearing ``threshold`` times among the last ``window`` recorded
+    faults opens its breaker.  The recovery manager drains an
+    open-breaker worker exactly like a fail-stop (replica re-route), so
+    a flaky-but-alive worker stops eating retries.  ``reset()`` closes
+    every breaker — :class:`~repro.engine.executor.Executor` registers
+    it as a :meth:`~repro.engine.cluster.Cluster.heal` listener.
+    """
+
+    def __init__(self, threshold: int = 3, window: int = 16) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if window < threshold:
+            raise ValueError(
+                f"window ({window}) must be >= threshold ({threshold})"
+            )
+        self.threshold = threshold
+        self.window = window
+        self._recent: Deque[int] = deque(maxlen=window)
+        self._open: Set[int] = set()
+        #: cumulative breaker openings (survives :meth:`reset`)
+        self.trips = 0
+
+    @property
+    def open_workers(self) -> List[int]:
+        """Workers currently quarantined, ascending."""
+        return sorted(self._open)
+
+    def state(self, worker: int) -> str:
+        """``"open"`` (quarantined) or ``"closed"`` for *worker*."""
+        return "open" if worker in self._open else "closed"
+
+    def record_fault(self, worker: int) -> bool:
+        """Record one fault against *worker*; True if this trips it."""
+        if worker in self._open:
+            return False
+        self._recent.append(worker)
+        if sum(1 for w in self._recent if w == worker) >= self.threshold:
+            self.trip(worker)
+            return True
+        return False
+
+    def trip(self, worker: int) -> None:
+        """Open *worker*'s breaker (idempotent)."""
+        if worker not in self._open:
+            self._open.add(worker)
+            self.trips += 1
+
+    def reset(self) -> None:
+        """Close every breaker and forget the event window."""
+        self._recent.clear()
+        self._open.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(threshold={self.threshold}, window={self.window}, "
+            f"open={self.open_workers}, trips={self.trips})"
+        )
 
 
 @dataclass(frozen=True)
@@ -129,11 +219,15 @@ class RecoveryManager:
         injector: FaultInjector,
         policy: RetryPolicy,
         parameters: CostParameters,
+        budget: Optional[QueryBudget] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self.cluster = cluster
         self.injector = injector
         self.policy = policy
         self.parameters = parameters
+        self.budget = budget
+        self.breaker = breaker
         self.workers_failed = 0
 
     def run_operator(
@@ -146,12 +240,20 @@ class RecoveryManager:
         retries = 0
         faults = 0
         recovery = 0.0
+        attempts: List[FaultEvent] = []
+        budget = self.budget
+        query_id = budget.query_id if budget is not None else ""
         while True:
+            if budget is not None:
+                # a retry storm must not outlive the query's envelope
+                budget.check_cancelled(phase="execute", operator=label)
+                budget.check_deadline(phase="execute", operator=label)
             fault = self.injector.draw(label, retries, self.cluster.live_workers)
             if fault is None:
                 result, op = run_once()
                 break
             faults += 1
+            attempts.append(fault)
             obs.event(
                 "fault",
                 kind=fault.kind.value,
@@ -164,26 +266,64 @@ class RecoveryManager:
                 result, op = run_once()
                 recovery += self._straggler_penalty(fault, op)
                 break
+            tripped = (
+                self.breaker is not None
+                and self.breaker.record_fault(fault.worker)
+            )
             retries += 1
+            if budget is not None:
+                # the query-wide retry budget sits on top of the
+                # per-operator policy and breaches first when smaller
+                budget.charge_retry(phase="execute", operator=label)
             if retries > self.policy.max_retries:
                 raise FaultToleranceError(
                     f"{label}: retry budget ({self.policy.max_retries}) exhausted; "
-                    f"last fault was {fault}"
+                    f"last fault was {fault}",
+                    operator=label,
+                    attempts=tuple(attempts),
+                    query_id=query_id,
                 )
             obs.event("retry", operator=label, retry=retries)
             obs.count("engine.recovery.retries")
             recovery += self.policy.backoff_cost(retries)
             if fault.kind is FaultKind.TRANSIENT:
+                if tripped:
+                    # quarantine the flaky worker *before* re-running:
+                    # every produced relation must post-date every
+                    # death, or a later migration would miss the dead
+                    # worker's slice of a result not yet in-flight
+                    recovery += self._quarantine(fault.worker, label, inflight)
                 # the attempt ran and its output was lost: charge its
                 # full data cost as wasted work, then go around again
                 _, wasted = run_once()
                 recovery += wasted.simulated_cost(self.parameters)
             else:
                 recovery += self._recover_fail_stop(fault.worker, inflight)
+                if tripped:
+                    # the crash already drained it; the open breaker
+                    # just keeps the quarantine visible in reports
+                    self._note_trip(fault.worker, label)
         op.retries = retries
         op.faults_injected = faults
         op.recovery_cost = recovery
         return result, op
+
+    # ------------------------------------------------------------------
+    # circuit breaker
+    # ------------------------------------------------------------------
+    def _quarantine(
+        self, worker: int, label: str, inflight: List[List[Relation]]
+    ) -> float:
+        """Drain a tripped-but-alive worker like a fail-stop; return cost."""
+        if not self.cluster.is_live(worker) or self.cluster.live_size <= 1:
+            # already dead, or the last replica holder: nothing to drain
+            return 0.0
+        self._note_trip(worker, label)
+        return self._recover_fail_stop(worker, inflight)
+
+    def _note_trip(self, worker: int, label: str) -> None:
+        obs.event("governance.circuit_open", worker=worker, operator=label)
+        obs.count("governance.circuit_trips")
 
     # ------------------------------------------------------------------
     # fault-specific recovery

@@ -255,6 +255,14 @@ class Tracer:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    def open_span_names(self) -> Tuple[str, ...]:
+        """Names of this thread's open spans, outermost first.
+
+        The governance layer attaches this to :class:`QueryAborted` so
+        an abort report shows where in the pipeline the query stopped.
+        """
+        return tuple(span.name for span in self._stack())
+
     # -- collection -----------------------------------------------------
     @property
     def spans(self) -> Tuple[Span, ...]:

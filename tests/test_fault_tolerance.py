@@ -10,8 +10,11 @@ import random
 
 import pytest
 
+from repro import AbortCause, QueryAborted
 from repro.core import StatisticsCatalog, optimize
 from repro.engine import (
+    ENGINES,
+    CircuitBreaker,
     Cluster,
     Executor,
     FailStop,
@@ -392,3 +395,118 @@ class TestCollectGuard:
         executor = Executor(_fresh_cluster(lubm))
         with pytest.raises(ExecutionError, match="no workers"):
             executor._collect([])
+
+
+class TestDoubleFailStop:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_two_workers_die_in_one_query(self, lubm, engine):
+        _, query, _, plan, reference = lubm
+        seen_double = False
+        for seed in range(6):
+            cluster = _fresh_cluster(lubm)
+            executor = Executor(
+                cluster,
+                fault_injector=FaultInjector(
+                    0.7, seed=seed, models=(FailStop(),)
+                ),
+                retry_policy=RetryPolicy(max_retries=64),
+                engine=engine,
+            )
+            relation, metrics = executor.execute(plan, query)
+            assert relation.rows == reference.rows
+            if metrics.workers_failed >= 2:
+                seen_double = True
+        assert seen_double  # high-rate fail-stops must cascade somewhere
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_replica_merge_target_dies_too(self, lubm, engine):
+        _, query, _, plan, reference = lubm
+        cluster = _fresh_cluster(lubm)
+        # the worker that absorbed the first victim's partition dies as
+        # well, so its merged slice must chain-reroute a second time
+        target, _ = cluster.fail_worker(1)
+        cluster.fail_worker(target)
+        relation, _ = Executor(cluster, engine=engine).execute(plan, query)
+        assert relation.rows == reference.rows
+        assert cluster.live_size == 3
+
+
+class TestAbortTaxonomy:
+    def test_fault_tolerance_error_is_structured_abort(self, lubm):
+        _, query, _, plan, _ = lubm
+        executor = Executor(
+            _fresh_cluster(lubm),
+            fault_injector=FaultInjector(1.0, seed=0, models=(Transient(),)),
+            retry_policy=RetryPolicy(max_retries=1),
+        )
+        with pytest.raises(FaultToleranceError) as exc:
+            executor.execute(plan, query)
+        abort = exc.value
+        assert isinstance(abort, QueryAborted)
+        assert abort.cause is AbortCause.RETRY_EXHAUSTED
+        assert abort.phase == "execute"
+        assert abort.operator
+        assert abort.attempts  # the per-attempt fault history rode along
+        assert all(event.operator == abort.operator for event in abort.attempts)
+        assert abort.partial_metrics is not None
+        assert abort.partial_metrics.abort_cause == "retry-exhausted"
+        report = abort.describe()
+        assert abort.operator in report
+        assert "attempt history" in report
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=4, window=2)
+
+    def test_trips_after_threshold_in_window(self):
+        breaker = CircuitBreaker(threshold=3, window=8)
+        assert not breaker.record_fault(2)
+        assert not breaker.record_fault(2)
+        assert breaker.state(2) == "closed"
+        assert breaker.record_fault(2)
+        assert breaker.state(2) == "open"
+        assert breaker.open_workers == [2]
+        assert breaker.trips == 1
+        # an open breaker swallows further faults without re-tripping
+        assert not breaker.record_fault(2)
+        assert breaker.trips == 1
+
+    def test_window_forgets_old_faults(self):
+        breaker = CircuitBreaker(threshold=3, window=3)
+        assert not breaker.record_fault(1)
+        assert not breaker.record_fault(1)
+        assert not breaker.record_fault(2)  # fills the window
+        # the oldest fault of worker 1 was evicted: still only two in view
+        assert not breaker.record_fault(1)
+        assert breaker.state(1) == "closed"
+
+    def test_reset_closes_but_keeps_trip_count(self):
+        breaker = CircuitBreaker(threshold=1, window=1)
+        assert breaker.record_fault(3)
+        breaker.reset()
+        assert breaker.open_workers == []
+        assert breaker.state(3) == "closed"
+        assert breaker.trips == 1  # cumulative across resets
+
+    def test_quarantine_drains_flaky_worker_and_heals(self, lubm):
+        _, query, _, plan, reference = lubm
+        cluster = _fresh_cluster(lubm)
+        breaker = CircuitBreaker(threshold=1, window=4)
+        executor = Executor(
+            cluster,
+            fault_injector=FaultInjector(0.6, seed=1, models=(Transient(),)),
+            retry_policy=RetryPolicy(max_retries=64),
+            circuit_breaker=breaker,
+        )
+        relation, metrics = executor.execute(plan, query)
+        assert relation.rows == reference.rows
+        assert breaker.trips >= 1
+        assert breaker.open_workers  # the flaky worker was quarantined
+        assert metrics.workers_failed >= 1
+        cluster.heal()  # the heal listener closes the breaker again
+        assert breaker.open_workers == []
+        assert breaker.trips >= 1

@@ -323,3 +323,60 @@ class TestDriver:
         )
         assert dirty.returncode == 1
         assert "LINT001" in dirty.stdout
+
+
+class TestLint005WallClock:
+    def test_time_time_call_flagged_in_core(self):
+        src = """
+        import time
+        started = time.time()
+        """
+        assert codes(src) == ["LINT005"]
+
+    def test_time_monotonic_call_flagged_in_engine(self):
+        src = """
+        import time
+        if time.monotonic() > limit:
+            pass
+        """
+        assert codes(src, path=ENGINE) == ["LINT005"]
+
+    def test_from_import_flagged(self):
+        assert codes("from time import monotonic\n") == ["LINT005"]
+        assert codes("from time import time, monotonic\n") == ["LINT005"]
+
+    def test_perf_counter_is_exempt(self):
+        src = """
+        import time
+        from time import perf_counter
+        elapsed = time.perf_counter() - started
+        """
+        assert codes(src) == []
+
+    def test_sanctioned_clock_module_exempt(self):
+        src = """
+        import time
+        now = time.monotonic()
+        """
+        assert codes(src, path="src/repro/core/governance.py") == []
+
+    def test_outside_clock_governed_parts_exempt(self):
+        src = """
+        import time
+        now = time.time()
+        """
+        assert codes(src, path="src/repro/analysis/fake.py") == []
+        assert codes(src, path=TESTS) == []
+
+    def test_per_line_disable(self):
+        src = """
+        import time
+        now = time.monotonic()  # lint: disable=LINT005
+        later = time.monotonic()
+        """
+        assert codes(src) == ["LINT005"]
+
+    def test_severity_is_error(self):
+        (finding,) = findings("from time import time\n")
+        assert finding.severity is Severity.ERROR
+        assert finding.code == "LINT005"
