@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Throughput benchmark: batch optimization, parallel search, plan cache.
 
-Three sections, written to ``BENCH_parallel_opt.json``:
+Four sections, written to ``BENCH_parallel_opt.json``:
 
 * **batch** — a Table IV-style workload of random chain/cycle/tree
   queries (10–40 patterns) pushed through :func:`optimize_many` with 1
@@ -12,19 +12,34 @@ Three sections, written to ``BENCH_parallel_opt.json``:
 * **cache** — the same workload run cold and then repeated against a
   warm :class:`~repro.core.plan_cache.PlanCache`; reports mean cold
   optimization latency, mean cache-hit latency, and their ratio.
+* **scaling** — the Table-7-style dense section (also emitted on its
+  own to ``BENCH_parallel_scaling.json``): 30+-pattern chain/cycle
+  queries plus dense/tree queries, memo-sharded across workers ∈
+  {1, 2, 4, 8} and root-sliced at 4.  The reported numbers are
+  *work units* (DP subqueries solved per worker), not wall time:
+  ``scaling_efficiency`` = serial subqueries / max per-worker
+  subqueries (the critical-path shrinkage an ideal machine would see),
+  and ``work_ratio_vs_root_slice`` = total root-slice work / total
+  memo-shard work (the redundancy the sharding removes).  Both are
+  deterministic properties of the scheduler, so the gates hold on any
+  runner regardless of core count or oversubscription.
 
 The ``--baseline`` gate compares the *cache speedup ratio* (cold mean /
 hit mean) against a committed baseline and fails if the cached path has
-regressed more than 2× relative to it.  The ratio is a property of the
-code (hash + JSON canonicalization vs. full enumeration), not of the
-machine, so the gate is stable across runner hardware; absolute times
-and ``cpu_count`` are recorded for context only.
+regressed more than 2× relative to it; ``--scaling-baseline`` gates the
+scaling section — every query must reach a 4-worker scaling efficiency
+of ≥ 2.5× over serial and beat root-slicing by ≥ 1.3× in total work,
+and must not regress below half its committed baseline efficiency.
+The ratios are properties of the code, not of the machine, so the
+gates are stable across runner hardware; absolute times and
+``cpu_count`` are recorded for context only.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_parallel_opt.py --quick \
         --output BENCH_parallel_opt.json \
-        --baseline benchmarks/baseline_parallel_opt.json
+        --baseline benchmarks/baseline_parallel_opt.json \
+        --scaling-baseline benchmarks/baseline_parallel_scaling.json
 """
 
 from __future__ import annotations
@@ -39,6 +54,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.analysis import VerificationContext, verify_result
 from repro.core import optimize, optimize_many, optimize_query_parallel
 from repro.core.cardinality import StatisticsCatalog
 from repro.core.join_graph import QueryShape
@@ -155,6 +171,149 @@ def bench_cache(items):
     }
 
 
+#: (name, shape, size) per mode for the dense scaling section; dense
+#: sizes stay moderate because TD-CMDP on a dense query enumerates all
+#: 2^n subqueries — the 30+-pattern chains/cycles supply the query
+#: *size* axis, the dense/tree entries the search-space *density* axis
+SCALING_WORKLOADS = {
+    "full": [
+        ("chain-30", QueryShape.CHAIN, 30),
+        ("cycle-30", QueryShape.CYCLE, 30),
+        ("dense-14", QueryShape.DENSE, 14),
+        ("tree-16", QueryShape.TREE, 16),
+    ],
+    "quick": [
+        ("chain-30", QueryShape.CHAIN, 30),
+        ("cycle-30", QueryShape.CYCLE, 30),
+        ("dense-12", QueryShape.DENSE, 12),
+    ],
+}
+SCALING_WORKERS = (1, 2, 4, 8)
+SCALING_SEED = 7
+
+
+def bench_scaling(mode: str):
+    """Memo-shard vs. root-slice vs. serial in deterministic work units."""
+    queries = []
+    for name, shape, size in SCALING_WORKLOADS[mode]:
+        query = generate_query(shape, size, random.Random(SCALING_SEED))
+        queries.append((name, query))
+    rows = []
+    for name, query in queries:
+        serial = optimize(query, algorithm=ALGORITHM, seed=SCALING_SEED)
+        context = VerificationContext.for_query(
+            query, seed=SCALING_SEED, algorithm=ALGORITHM
+        )
+        row = {
+            "query": name,
+            "patterns": len(query),
+            "serial_subqueries": serial.stats.subqueries_expanded,
+            "serial_seconds": serial.elapsed_seconds,
+            "cost": serial.cost,
+            "memo_shard": {},
+        }
+        for jobs in SCALING_WORKERS:
+            result = optimize_query_parallel(
+                query,
+                algorithm=ALGORITHM,
+                jobs=jobs,
+                seed=SCALING_SEED,
+                strategy="memo-shard",
+            )
+            assert result.cost == serial.cost, (
+                f"{name} x{jobs}: memo-shard cost diverged from serial"
+            )
+            verify_result(result, context).raise_if_failed()
+            shares = result.stats.per_worker_subqueries or [
+                result.stats.subqueries_expanded
+            ]
+            row["memo_shard"][str(jobs)] = {
+                "workers": result.stats.workers,
+                "wall_seconds": result.elapsed_seconds,
+                "per_worker_subqueries": shares,
+                "scaling_efficiency": serial.stats.subqueries_expanded
+                / max(max(shares), 1),
+                "worker_balance": result.stats.worker_balance,
+                "steals": result.stats.steals,
+                "pool_startup_seconds": result.stats.pool_startup_seconds,
+            }
+        sliced = optimize_query_parallel(
+            query,
+            algorithm=ALGORITHM,
+            jobs=4,
+            seed=SCALING_SEED,
+            strategy="root-slice",
+        )
+        assert sliced.cost == serial.cost, (
+            f"{name}: root-slice cost diverged from serial"
+        )
+        verify_result(sliced, context).raise_if_failed()
+        memo_work = sum(row["memo_shard"]["4"]["per_worker_subqueries"])
+        slice_work = sum(sliced.stats.per_worker_subqueries)
+        row["root_slice_4"] = {
+            "wall_seconds": sliced.elapsed_seconds,
+            "per_worker_subqueries": sliced.stats.per_worker_subqueries,
+            "total_subqueries": slice_work,
+        }
+        row["work_ratio_vs_root_slice"] = slice_work / max(memo_work, 1)
+        rows.append(row)
+        print(
+            f"scaling {name}: eff4="
+            f"{row['memo_shard']['4']['scaling_efficiency']:.2f} "
+            f"work_ratio={row['work_ratio_vs_root_slice']:.2f} "
+            f"steals={row['memo_shard']['4']['steals']} "
+            f"balance={row['memo_shard']['4']['worker_balance']:.2f}"
+        )
+    return {
+        "algorithm": ALGORITHM,
+        "seed": SCALING_SEED,
+        "workers": list(SCALING_WORKERS),
+        "queries": rows,
+    }
+
+
+#: absolute gates from the acceptance criteria; the committed baseline
+#: additionally guards against relative regressions
+MIN_SCALING_EFFICIENCY = 2.5
+MIN_WORK_RATIO = 1.3
+
+
+def check_scaling_baseline(scaling: dict, baseline_path: Path) -> int:
+    """Gate the scaling section on work-unit ratios (machine-independent)."""
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    base_by_query = {row["query"]: row for row in baseline["queries"]}
+    failures = 0
+    for row in scaling["queries"]:
+        efficiency = row["memo_shard"]["4"]["scaling_efficiency"]
+        ratio = row["work_ratio_vs_root_slice"]
+        floor = MIN_SCALING_EFFICIENCY
+        base = base_by_query.get(row["query"])
+        if base is not None:
+            floor = max(
+                floor, base["memo_shard"]["4"]["scaling_efficiency"] / 2.0
+            )
+        print(
+            f"scaling gate {row['query']}: efficiency {efficiency:.2f} "
+            f"(floor {floor:.2f}), work ratio {ratio:.2f} "
+            f"(floor {MIN_WORK_RATIO:.2f})"
+        )
+        if efficiency < floor:
+            print(
+                f"FAIL: {row['query']} 4-worker scaling efficiency "
+                f"{efficiency:.2f} below floor {floor:.2f}",
+                file=sys.stderr,
+            )
+            failures += 1
+        if ratio < MIN_WORK_RATIO:
+            print(
+                f"FAIL: {row['query']} memo-shard does not beat root-slice "
+                f"by {MIN_WORK_RATIO}x in total work (got {ratio:.2f}x)",
+                file=sys.stderr,
+            )
+            failures += 1
+    return 1 if failures else 0
+
+
 def check_baseline(report: dict, baseline_path: Path) -> int:
     """Gate: the cache speedup ratio must not regress >2x vs. baseline."""
     baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
@@ -182,10 +341,22 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=2017)
     parser.add_argument("--output", default="BENCH_parallel_opt.json")
     parser.add_argument(
+        "--scaling-output",
+        default="BENCH_parallel_scaling.json",
+        help="where to write the dense scaling section on its own",
+    )
+    parser.add_argument(
         "--baseline",
         default=None,
         help="committed baseline JSON; exit non-zero if the cache-hit "
         "speedup drops below half the baseline's",
+    )
+    parser.add_argument(
+        "--scaling-baseline",
+        default=None,
+        help="committed scaling baseline JSON; exit non-zero if any "
+        "query misses the 2.5x efficiency / 1.3x work-ratio floors or "
+        "regresses below half its baseline efficiency",
     )
     args = parser.parse_args(argv)
     mode = "quick" if args.quick else "full"
@@ -224,13 +395,25 @@ def main(argv=None) -> int:
         f"({report['cache']['hit_speedup']:.0f}x)"
     )
 
+    report["scaling"] = bench_scaling(mode)
+
     Path(args.output).write_text(
         json.dumps(report, indent=2) + "\n", encoding="utf-8"
     )
     print(f"wrote {args.output}")
+    scaling_report = {"mode": mode, **report["scaling"]}
+    Path(args.scaling_output).write_text(
+        json.dumps(scaling_report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.scaling_output}")
+    status = 0
     if args.baseline:
-        return check_baseline(report, Path(args.baseline))
-    return 0
+        status |= check_baseline(report, Path(args.baseline))
+    if args.scaling_baseline:
+        status |= check_scaling_baseline(
+            report["scaling"], Path(args.scaling_baseline)
+        )
+    return status
 
 
 if __name__ == "__main__":

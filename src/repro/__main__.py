@@ -131,6 +131,7 @@ def build_options(args: argparse.Namespace, **overrides) -> OptimizeOptions:
         anytime=getattr(args, "anytime", False),
         seed=getattr(args, "seed", 0),
         jobs=getattr(args, "jobs", 1),
+        parallel_strategy=getattr(args, "parallel_strategy", None) or "memo-shard",
         verify=getattr(args, "verify", False),
         trace=getattr(args, "trace", None) is not None,
         engine=getattr(args, "engine", "reference"),
@@ -189,6 +190,8 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         print(
             f"# workers={result.stats.workers} "
             f"speedup={result.stats.speedup:.2f} "
+            f"balance={result.stats.worker_balance:.2f} "
+            f"steals={result.stats.steals} "
             f"per_worker_subqueries={result.stats.per_worker_subqueries}",
             file=sys.stderr,
         )
@@ -517,8 +520,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=1,
-        help="optimizer worker processes (td-cmd/td-cmdp split their "
-        "root division space across them; other algorithms run serially)",
+        help="optimizer worker processes (td-cmd/td-cmdp shard their "
+        "DP search across them; other algorithms run serially)",
+    )
+    common.add_argument(
+        "--parallel-strategy",
+        choices=("memo-shard", "root-slice"),
+        default="memo-shard",
+        help="intra-query parallel scheme for --jobs > 1: 'memo-shard' "
+        "(popcount-tiered memo sharding with work stealing) or "
+        "'root-slice' (legacy root-division round-robin)",
     )
     common.add_argument(
         "--verify",

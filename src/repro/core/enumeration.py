@@ -98,8 +98,19 @@ class EnumerationStats:
     per_worker_subqueries: List[int] = field(default_factory=list)
     #: wall seconds spent inside each worker (parallel search only)
     per_worker_seconds: List[float] = field(default_factory=list)
-    #: Σ worker seconds / parallel wall seconds (parallel search only)
+    #: Σ worker seconds / parallel search wall seconds, with pool
+    #: spin-up excluded from the denominator (parallel search only)
     speedup: float = 0.0
+    #: chunks taken from a sibling's queue (memo-sharded search only)
+    steals: int = 0
+    #: steals performed by each worker (memo-sharded search only)
+    per_worker_steals: List[int] = field(default_factory=list)
+    #: min/max per-worker subquery share — 1.0 is perfectly balanced,
+    #: 0.0 means at least one worker did nothing (parallel search only)
+    worker_balance: float = 0.0
+    #: seconds from pool spawn until the first worker was ready;
+    #: excluded from the :attr:`speedup` denominator
+    pool_startup_seconds: float = 0.0
     #: anytime mode returned a degraded (best-so-far / greedy) plan
     degraded: bool = False
     #: why the search degraded ("" unless :attr:`degraded`)
@@ -123,6 +134,8 @@ class EnumerationStats:
         if self.workers > 1:
             data["workers"] = self.workers
             data["speedup"] = self.speedup
+            data["worker_balance"] = self.worker_balance
+            data["steals"] = self.steals
         if self.degraded:
             data["degraded"] = 1.0
         return data
@@ -147,6 +160,9 @@ class EnumerationStats:
             ("local_short_circuits", self.local_short_circuits),
         ):
             registry.counter(f"optimizer.{name}").inc(value)
+        if self.workers > 1:
+            registry.counter("optimizer.steals").inc(self.steals)
+            registry.gauge("optimizer.worker_balance").set(self.worker_balance)
         if self.degraded:
             registry.counter("governance.degraded").inc()
 
@@ -347,6 +363,19 @@ class TopDownEnumerator:
         for parts, variable in enumerate_cmds(self.join_graph, bits):
             yield parts, variable, operators
 
+    def raw_divisions(
+        self, bits: int
+    ) -> Iterator[Tuple[Tuple[int, ...], Variable, Sequence[JoinAlgorithm]]]:
+        """The division space without instrumentation side effects.
+
+        The parallel drivers probe the division space (to size slices
+        or tiers) before any search runs; this hook lets them count
+        divisions without inflating rule-hit trace counters.  TD-CMD's
+        ``divisions`` has no instrumentation, so this is the same
+        iterator; TD-CMDP overrides it with the raw generator.
+        """
+        return self.divisions(bits)
+
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
@@ -401,22 +430,32 @@ class TopDownEnumerator:
         return plan, label
 
 
-def greedy_fallback_plan(builder: PlanBuilder) -> PlanNode:
+def greedy_fallback_plan(
+    builder: PlanBuilder, frontier: Optional[List[PlanNode]] = None
+) -> PlanNode:
     """A complete plan in O(n³) time: the anytime last resort.
 
     Greedily merges the two connected frontier plans whose combined
     subquery has the smallest estimated cardinality, joining them with
     a binary repartition join on their lexicographically first shared
-    variable.  Never optimal, but always Cartesian-product-free,
-    costed by the same builder arithmetic as every other plan, and —
-    having no broadcasts and no local joins — trivially satisfies every
-    optional verifier profile, so anytime-greedy plans pass
+    variable.  Never optimal, but always Cartesian-product-free and
+    costed by the same builder arithmetic as every other plan.  The
+    merge joins are binary repartitions, so the result satisfies every
+    optional verifier profile its *frontier* plans satisfy — plain
+    scans (the default) trivially, and the memo-sharded search's
+    solved-entry plans because they come out of the pruned enumeration
+    itself; either way anytime plans pass
     :class:`~repro.analysis.plan_verifier.PlanVerifier` unchanged.
+
+    *frontier* defaults to one scan per pattern; the memo-sharded
+    anytime path passes the disjoint cover of the query by its largest
+    solved entries instead (see :mod:`.memo_shard`).
     """
     join_graph = builder.join_graph
-    frontier: List[PlanNode] = [
-        builder.scan(index) for index in range(join_graph.size)
-    ]
+    if frontier is None:
+        frontier = [builder.scan(index) for index in range(join_graph.size)]
+    else:
+        frontier = list(frontier)
     while len(frontier) > 1:
         best_pair: Optional[Tuple[int, int]] = None
         best_key: Optional[Tuple[float, int]] = None

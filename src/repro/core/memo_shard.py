@@ -1,0 +1,702 @@
+"""Memo-sharded parallel plan search: popcount tiers + work stealing.
+
+The root-slice scheme (see :mod:`.parallel`) splits only the *root*
+division space, so every worker re-solves almost the entire lower memo
+and intra-query speedup caps out barely above 1×.  Trummer & Koch's
+shared-nothing parallelization goes further: allocate *all* DP
+subproblems across workers.  This module implements that scheme for
+TD-CMD / TD-CMDP:
+
+* the connected-subquery space is partitioned into **popcount tiers**
+  (tier k = every connected subquery with k patterns), grown
+  breadth-first from the singletons — every connected subquery of size
+  k extends one of size k-1, so the tiers are exactly the DP levels;
+* a **persistent worker pool** solves one tier at a time.  The driver
+  broadcasts the previous tier's solved ``{bitset: cost}`` entries to
+  every worker first, so each worker's child-cost lookups always hit a
+  complete lower-tier memo — the only state the cost recursion needs,
+  because a subquery's candidate set (and the cardinalities involved)
+  is a pure function of its bitset;
+* within a tier, entries are chunked onto per-worker work queues;
+  a worker that drains its own queue **steals** a chunk from the most
+  loaded sibling (driver-mediated, counted per worker), so skewed
+  division spaces no longer leave workers idle;
+* workers return *choice descriptors* (winning operator, parts,
+  variable), never plan objects; the driver rebuilds the final plan
+  bottom-up through the same :class:`~repro.core.cost.PlanBuilder`
+  arithmetic, which keeps the cost — and the plan — bit-identical to
+  the serial search (same candidate order, same strict ``<``
+  tie-break, same float operations).
+
+Governance: the driver polls its :class:`~repro.core.governance.QueryBudget`
+every scheduler tick and ships the *remaining* deadline seconds to the
+workers (re-anchored per process, as in root-slicing).  On expiry with
+``anytime`` set, the driver degrades to a complete plan assembled from
+the finished tiers: a greedy disjoint cover of the query by the largest
+solved entries (singletons guarantee the cover exists), merged with
+binary repartition joins by :func:`~repro.core.enumeration.greedy_fallback_plan`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_module
+import time
+import traceback
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..observability import runtime as obs
+from ..observability.spans import Span, Tracer
+from .enumeration import (
+    EnumerationStats,
+    OptimizationResult,
+    OptimizationTimeout,
+    greedy_fallback_plan,
+)
+from .governance import Deadline, QueryBudget
+from .local_query import LocalQueryIndex
+from .optimizer import make_builder
+from .plans import PlanNode
+from . import bitset as bs
+
+#: scheduler poll interval while waiting on worker results
+_POLL_SECONDS = 0.05
+#: target chunks per worker per tier (keeps stealing worthwhile)
+_CHUNKS_PER_WORKER = 4
+#: hard ceiling on entries per chunk (bounds sync latency on huge tiers)
+_MAX_CHUNK = 64
+#: chunks pushed to a worker before its first completion comes back
+_PREFETCH = 2
+#: below this many non-singleton entries sharding is pure overhead
+_MIN_ENTRIES = 4
+#: worker-side deadline check frequency within a division loop
+_DEADLINE_TICK_MASK = 0xFF
+
+
+class _TierExpired(Exception):
+    """Internal: a deadline fired mid-tier (driver- or worker-side)."""
+
+    def __init__(self, tiers_done: int) -> None:
+        super().__init__()
+        self.tiers_done = tiers_done
+
+
+def subquery_tiers(join_graph: Any) -> List[List[int]]:
+    """All connected subqueries, grouped (and sorted) by popcount.
+
+    ``tiers[k]`` holds every connected subquery with k patterns, in
+    ascending bitset order; ``tiers[0]`` is empty and ``tiers[n]`` is
+    ``[full]`` for a connected query.  Grown breadth-first: every
+    connected set of size k is a connected set of size k-1 plus one
+    neighboring pattern (every connected subgraph has a non-cut
+    vertex), so the frontier walk is exhaustive.
+    """
+    n = join_graph.size
+    tiers: List[List[int]] = [[] for _ in range(n + 1)]
+    if n == 0:
+        return tiers
+    tiers[1] = [bs.bit(i) for i in range(n)]
+    for k in range(2, n + 1):
+        grown = set()
+        for bits in tiers[k - 1]:
+            for i in bs.iter_bits(join_graph.neighbors(bits)):
+                grown.add(bits | bs.bit(i))
+        tiers[k] = sorted(grown)
+    return tiers
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+class _WorkerExpired(Exception):
+    """Internal to a worker: its re-anchored deadline fired."""
+
+
+#: a worker's report for one solved entry:
+#: (bits, cost, choice, plans, divisions, shorts, reads)
+_SolvedEntry = Tuple[int, float, Tuple[Any, ...], int, int, int, int]
+
+
+class _WorkerState:
+    """Per-process solve context: builder, enumerator, cost memo."""
+
+    def __init__(self, payload: Tuple[Any, ...]) -> None:
+        (
+            query,
+            statistics,
+            algorithm_key,
+            partitioning,
+            parameters,
+            deadline_remaining,
+            _trace,
+        ) = payload
+        # imported here (not at module top) so the registry stays in one
+        # place; the worker only ever needs the serial enumerator classes
+        from .optimizer import ALGORITHMS
+
+        self.builder = make_builder(query, statistics, parameters=parameters)
+        self.local_index = LocalQueryIndex(self.builder.join_graph, partitioning)
+        self.enumerator = ALGORITHMS[algorithm_key](
+            self.builder.join_graph, self.builder, local_index=self.local_index
+        )
+        #: solved costs for every lower-tier entry (synced per tier)
+        self.costs: Dict[int, float] = {}
+        self._cards: Dict[int, float] = {}
+        # deadlines do not cross process boundaries; re-anchor the
+        # remaining allowance on this process's monotonic clock
+        self.deadline: Optional[Deadline] = (
+            Deadline.after(deadline_remaining)
+            if deadline_remaining is not None
+            else None
+        )
+
+    def cardinality(self, bits: int) -> float:
+        """|SQ| for a division part, matching serial child cardinalities.
+
+        A singleton child's plan is a scan, whose cardinality is the
+        pattern cardinality; any larger child's plan carries the
+        estimator's subquery cardinality.  Either way the value is a
+        function of the bitset alone — no plan object needed.
+        """
+        value = self._cards.get(bits)
+        if value is None:
+            estimator = self.builder.estimator
+            if bs.popcount(bits) == 1:
+                value = estimator.pattern_cardinality(bs.lowest_index(bits))
+            else:
+                value = estimator.cardinality(bits)
+            self._cards[bits] = value
+        return value
+
+    def solve(self, bits: int) -> _SolvedEntry:
+        """Mirror one serial ``BestPlanGen`` call, without recursion.
+
+        Child costs come from :attr:`costs` (the complete lower-tier
+        memo) instead of recursive calls; everything else — candidate
+        order, seed handling, the strict ``<`` tie-break, the float
+        arithmetic — is identical to
+        :meth:`~repro.core.enumeration.TopDownEnumerator.best_plan_gen`,
+        which is what makes the merged search bit-identical to serial.
+
+        Returns ``(bits, cost, choice, plans, divisions, shorts, reads)``
+        where *choice* reconstructs the winning plan: ``("l",)`` for the
+        flat local plan, ``("j", operator, parts, variable)`` for a join.
+        """
+        self._check_deadline()
+        enumerator = self.enumerator
+        builder = self.builder
+        plans = divisions = shorts = reads = 0
+        is_local = self.local_index.is_local(bits)
+        best_cost = float("inf")
+        best_choice: Optional[Tuple[Any, ...]] = None
+        if is_local:
+            best_cost = builder.local_join_plan(bits).cost
+            best_choice = ("l",)
+            plans += 1
+            if enumerator.local_short_circuit:
+                shorts += 1
+                return (bits, best_cost, best_choice, plans, divisions, shorts, reads)
+        parameters = builder.parameters
+        output_cardinality = builder.estimator.cardinality(bits)
+        costs = self.costs
+        tick = 0
+        for parts, variable, operators in enumerator.divisions(bits):
+            divisions += 1
+            tick += 1
+            if tick & _DEADLINE_TICK_MASK == 0:
+                self._check_deadline()
+            child_cost = max(costs[part] for part in parts)
+            reads += len(parts)
+            inputs = [self.cardinality(part) for part in parts]
+            for operator in operators:
+                cost = child_cost + parameters.operator_cost(
+                    operator, inputs, output_cardinality
+                )
+                plans += 1
+                if cost < best_cost:
+                    best_cost = cost
+                    best_choice = ("j", operator, parts, variable)
+        if best_choice is None:
+            raise ValueError(f"no connected division for subquery {bits:#x}")
+        return (bits, best_cost, best_choice, plans, divisions, shorts, reads)
+
+    def _check_deadline(self) -> None:
+        if self.deadline is not None and self.deadline.expired:
+            raise _WorkerExpired()
+
+
+def _worker_main(
+    worker_id: int, payload: Tuple[Any, ...], task_q: Any, result_q: Any
+) -> None:
+    """One pool process: sync tiers, solve chunks, report results."""
+    tracer: Optional[Tracer] = None
+    span = None
+    try:
+        trace = payload[-1]
+        state = _WorkerState(payload)
+        if trace:
+            tracer = Tracer(track=f"worker-{worker_id}")
+        result_q.put(("ready", worker_id, time.perf_counter()))
+        chunks_done = 0
+        entries_done = 0
+        scope = obs.activate(tracer) if tracer is not None else None
+        if scope is not None:
+            scope.__enter__()
+            span = tracer.span("worker", worker_id=worker_id)
+        while True:
+            message = task_q.get()
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "tier":
+                state.costs.update(message[1])
+                continue
+            _, chunk_id, entry_bits = message
+            started = time.perf_counter()
+            results: List[_SolvedEntry] = []
+            expired = False
+            try:
+                for bits in entry_bits:
+                    results.append(state.solve(bits))
+            except _WorkerExpired:
+                expired = True
+            elapsed = time.perf_counter() - started
+            chunks_done += 1
+            entries_done += len(results)
+            status = "expired" if expired else "done"
+            result_q.put((status, worker_id, chunk_id, results, elapsed))
+        if span is not None:
+            span.set(chunks=chunks_done, entries=entries_done)
+            span.__exit__(None, None, None)
+            span = None
+        if scope is not None:
+            scope.__exit__(None, None, None)
+        result_q.put(
+            ("trace", worker_id, tracer.to_payload() if tracer is not None else None)
+        )
+    except Exception:  # pragma: no cover - surfaced driver-side
+        result_q.put(("error", worker_id, traceback.format_exc()))
+
+
+# ----------------------------------------------------------------------
+# driver side
+# ----------------------------------------------------------------------
+class _ShardDriver:
+    """Tier-synchronous scheduler over a persistent worker pool."""
+
+    def __init__(
+        self,
+        query: Any,
+        key: str,
+        jobs: int,
+        statistics: Any,
+        partitioning: Any,
+        parameters: Any,
+        builder: Any,
+        probe: Any,
+        tiers: List[List[int]],
+        budget: Optional[QueryBudget],
+        deadline_remaining: Optional[float],
+        anytime: bool,
+    ) -> None:
+        self.key = key
+        self.jobs = jobs
+        self.builder = builder
+        self.probe = probe
+        self.tiers = tiers
+        self.budget = budget
+        self.anytime = anytime
+        self.deadline = (
+            Deadline.after(deadline_remaining)
+            if deadline_remaining is not None
+            else None
+        )
+        self.tracer = obs.current_tracer()
+        self.payload = (
+            query,
+            statistics,
+            key,
+            partitioning,
+            parameters,
+            deadline_remaining,
+            self.tracer is not None,
+        )
+        # solved state
+        self.costs: Dict[int, float] = {}
+        self.choices: Dict[int, Tuple[Any, ...]] = {}
+        # accounting
+        self.solved_by_worker = [0] * jobs
+        self.busy_seconds = [0.0] * jobs
+        self.per_worker_steals = [0] * jobs
+        self.steals = 0
+        self.plans = self.divisions = self.shorts = self.reads = 0
+        self.worker_started: List[Optional[float]] = [None] * jobs
+        self.traces: Dict[int, Optional[Dict[str, Any]]] = {}
+        # pool
+        self._ctx = mp.get_context()
+        self._result_q = self._ctx.Queue()
+        self._task_qs = [self._ctx.Queue() for _ in range(jobs)]
+        self._procs: List[Any] = []
+
+    # -- pool lifecycle -------------------------------------------------
+    def start(self) -> None:
+        self.spawn_started = time.perf_counter()
+        for index in range(self.jobs):
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(index, self.payload, self._task_qs[index], self._result_q),
+                daemon=True,
+            )
+            process.start()
+            self._procs.append(process)
+
+    def shutdown(self, graceful: bool) -> None:
+        """Stop the pool; on a graceful stop, collect worker traces."""
+        try:
+            if graceful:
+                for task_q in self._task_qs:
+                    task_q.put(("stop",))
+                want_traces = self.tracer is not None
+                stop_by = time.perf_counter() + 5.0
+                while (
+                    want_traces
+                    and len(self.traces) < self.jobs
+                    and time.perf_counter() < stop_by
+                ):
+                    try:
+                        message = self._result_q.get(timeout=_POLL_SECONDS)
+                    except queue_module.Empty:
+                        continue
+                    if message[0] == "trace":
+                        self.traces[message[1]] = message[2]
+            for process in self._procs:
+                process.join(timeout=0.1 if not graceful else 1.0)
+            for process in self._procs:
+                if process.is_alive():
+                    process.terminate()
+            for process in self._procs:
+                process.join(timeout=1.0)
+        finally:
+            for task_q in self._task_qs:
+                task_q.close()
+                task_q.cancel_join_thread()
+            self._result_q.close()
+            self._result_q.cancel_join_thread()
+
+    # -- scheduling -----------------------------------------------------
+    def run(self) -> None:
+        """Solve every tier; fills :attr:`costs` / :attr:`choices`."""
+        join_graph = self.builder.join_graph
+        n = join_graph.size
+        updates: List[Tuple[int, float]] = []
+        for bits in self.tiers[1]:
+            index = bs.lowest_index(bits)
+            self.costs[bits] = 0.0
+            self.choices[bits] = ("s", index)
+            updates.append((bits, 0.0))
+        for k in range(2, n + 1):
+            entries = self.tiers[k]
+            if not entries:
+                continue
+            with obs.span(
+                "parallel.tier", tier=k, entries=len(entries)
+            ) as tier_span:
+                tier_steals = self._run_tier(k, entries, updates)
+                tier_span.set(steals=tier_steals)
+            updates = sorted((bits, self.costs[bits]) for bits in entries)
+
+    def _run_tier(
+        self, k: int, entries: List[int], updates: List[Tuple[int, float]]
+    ) -> int:
+        jobs = self.jobs
+        for task_q in self._task_qs:
+            task_q.put(("tier", updates))
+        chunk_size = min(
+            _MAX_CHUNK, max(1, -(-len(entries) // (jobs * _CHUNKS_PER_WORKER)))
+        )
+        chunks = [
+            entries[i : i + chunk_size] for i in range(0, len(entries), chunk_size)
+        ]
+        queues: List[deque[int]] = [deque() for _ in range(jobs)]
+        for chunk_id in range(len(chunks)):
+            queues[chunk_id % jobs].append(chunk_id)
+        steals_before = self.steals
+        completed = 0
+        for worker in range(jobs):
+            for _ in range(_PREFETCH):
+                self._dispatch(worker, queues, chunks)
+        while completed < len(chunks):
+            self._check_budget(k)
+            try:
+                message = self._result_q.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                self._check_liveness()
+                continue
+            kind = message[0]
+            if kind == "ready":
+                self.worker_started[message[1]] = message[2]
+            elif kind == "error":
+                raise RuntimeError(
+                    f"memo-shard worker {message[1]} failed:\n{message[2]}"
+                )
+            elif kind in ("done", "expired"):
+                _, worker, _chunk_id, results, elapsed = message
+                self._merge_results(worker, results, elapsed)
+                if kind == "expired":
+                    raise _TierExpired(tiers_done=k - 1)
+                completed += 1
+                self._dispatch(worker, queues, chunks)
+            elif kind == "trace":  # late trace from a prior shutdown race
+                self.traces[message[1]] = message[2]
+        return self.steals - steals_before
+
+    def _dispatch(
+        self, worker: int, queues: List[deque[int]], chunks: List[List[int]]
+    ) -> None:
+        if queues[worker]:
+            chunk_id = queues[worker].popleft()
+        else:
+            victim = max(range(self.jobs), key=lambda v: len(queues[v]))
+            if not queues[victim]:
+                return
+            # steal from the tail of the most loaded sibling's queue
+            chunk_id = queues[victim].pop()
+            self.steals += 1
+            self.per_worker_steals[worker] += 1
+        self._task_qs[worker].put(("chunk", chunk_id, chunks[chunk_id]))
+
+    def _merge_results(
+        self, worker: int, results: Sequence[_SolvedEntry], elapsed: float
+    ) -> None:
+        self.busy_seconds[worker] += elapsed
+        self.solved_by_worker[worker] += len(results)
+        for bits, cost, choice, plans, divisions, shorts, reads in results:
+            self.costs[bits] = cost
+            self.choices[bits] = choice
+            self.plans += plans
+            self.divisions += divisions
+            self.shorts += shorts
+            self.reads += reads
+
+    def _check_budget(self, tier: int) -> None:
+        if self.budget is not None:
+            self.budget.check_cancelled(phase="optimize")
+        if self.deadline is not None and self.deadline.expired:
+            raise _TierExpired(tiers_done=tier - 1)
+
+    def _check_liveness(self) -> None:
+        for index, process in enumerate(self._procs):
+            if not process.is_alive():
+                raise RuntimeError(
+                    f"memo-shard worker {index} died unexpectedly "
+                    f"(exit code {process.exitcode})"
+                )
+
+    # -- results --------------------------------------------------------
+    def reconstruct(self, bits: int, cache: Dict[int, PlanNode]) -> PlanNode:
+        """Rebuild the plan for *bits* from the recorded choices.
+
+        Uses the driver's own builder, so the float arithmetic — and
+        therefore the plan cost — is exactly what the serial search
+        would have produced for the same choices.
+        """
+        plan = cache.get(bits)
+        if plan is not None:
+            return plan
+        choice = self.choices[bits]
+        if choice[0] == "s":
+            plan = self.builder.scan(choice[1])
+        elif choice[0] == "l":
+            plan = self.builder.local_join_plan(bits)
+        else:
+            _, operator, parts, variable = choice
+            children = [self.reconstruct(part, cache) for part in parts]
+            plan = self.builder.join(operator, children, variable)
+        cache[bits] = plan
+        return plan
+
+    def degraded_plan(self, tiers_done: int) -> Tuple[PlanNode, str, str]:
+        """A complete plan from the finished tiers (anytime expiry).
+
+        Greedily covers the query with the largest solved entries
+        (disjoint, deterministic tie-break by bitset); the singleton
+        tier is always solved, so a cover always exists.  The cover's
+        memoized plans are then merged by the greedy fallback planner
+        (binary repartition joins), so the result is complete,
+        Cartesian-product-free, and verifier-clean.
+        """
+        full = self.builder.join_graph.full
+        remaining = full
+        cover: List[int] = []
+        for bits in sorted(self.costs, key=lambda b: (-bs.popcount(b), b)):
+            if bits & remaining == bits:
+                cover.append(bits)
+                remaining &= ~bits
+                if not remaining:
+                    break
+        cache: Dict[int, PlanNode] = {}
+        frontier = [self.reconstruct(bits, cache) for bits in cover]
+        if len(frontier) == 1:
+            plan = frontier[0]
+        else:
+            plan = greedy_fallback_plan(self.builder, frontier=frontier)
+        total_tiers = self.builder.join_graph.size
+        reason = (
+            f"deadline: merged {len(cover)} sharded plans from "
+            f"{tiers_done}/{total_tiers} finished tiers"
+        )
+        label = f"{self.probe.algorithm_name}[parallel x{self.jobs}][anytime]"
+        return plan, label, reason
+
+    def stats(self, wall_seconds: float) -> EnumerationStats:
+        """Merged serial-equivalent counters plus scheduler telemetry.
+
+        Counter identity with serial holds whenever the serial search
+        expands the full connected-subquery space (every unpartitioned
+        query); with partitioning + Rule 3 the tiers are a superset of
+        the serial traversal (entries below local queries are priced as
+        flat local plans the serial search never requests), so
+        ``subqueries_expanded`` / ``plans_considered`` may exceed the
+        serial counts there.  ``memo_hits`` is reconstructed from child
+        cost reads: the serial traversal performs one ``get_best_plan``
+        per child reference plus one for the root, and misses exactly
+        once per entry.
+        """
+        singletons = len(self.tiers[1])
+        solved = singletons + sum(self.solved_by_worker)
+        started = [s for s in self.worker_started if s is not None]
+        startup = 0.0
+        if started:
+            startup = max(0.0, min(started) - self.spawn_started)
+        startup = min(startup, wall_seconds)
+        search_wall = max(wall_seconds - startup, 1e-9)
+        max_share = max(self.solved_by_worker) if self.solved_by_worker else 0
+        min_share = min(self.solved_by_worker) if self.solved_by_worker else 0
+        return EnumerationStats(
+            plans_considered=self.plans,
+            divisions_enumerated=self.divisions,
+            subqueries_expanded=solved,
+            memo_hits=max(0, self.reads + 1 - solved),
+            local_short_circuits=self.shorts,
+            workers=self.jobs,
+            per_worker_subqueries=list(self.solved_by_worker),
+            per_worker_seconds=list(self.busy_seconds),
+            speedup=sum(self.busy_seconds) / search_wall,
+            steals=self.steals,
+            per_worker_steals=list(self.per_worker_steals),
+            worker_balance=(min_share / max_share) if max_share else 0.0,
+            pool_startup_seconds=startup,
+        )
+
+    def adopt_traces(self, parallel_span: Any, dispatch_at: float) -> None:
+        if self.tracer is None:
+            return
+        parent = parallel_span if isinstance(parallel_span, Span) else None
+        for index in range(self.jobs):
+            payload = self.traces.get(index)
+            if payload is not None:
+                self.tracer.adopt(
+                    payload,
+                    track=f"worker-{index}",
+                    parent=parent,
+                    rebase_to=dispatch_at,
+                )
+
+
+def optimize_memo_sharded(
+    query: Any,
+    key: str,
+    jobs: int,
+    statistics: Any,
+    partitioning: Any,
+    parameters: Any,
+    builder: Any,
+    probe: Any,
+    budget: Optional[QueryBudget],
+    deadline_remaining: Optional[float],
+    anytime: bool,
+    started: float,
+) -> Optional[OptimizationResult]:
+    """Run the memo-sharded search; ``None`` means "fall back to serial".
+
+    The caller (:func:`repro.core.parallel.optimize_query_parallel`)
+    has already handled the degenerate cases shared with root-slicing
+    (unsupported algorithm, disconnected query, Rule-3 root answer);
+    this function additionally declines queries whose connected-subquery
+    space is too small to shard profitably.
+    """
+    join_graph = builder.join_graph
+    tiers = subquery_tiers(join_graph)
+    non_singleton = sum(len(tier) for tier in tiers[2:])
+    widest = max((len(tier) for tier in tiers[2:]), default=0)
+    jobs = max(1, min(jobs, widest))
+    if non_singleton < _MIN_ENTRIES or jobs <= 1:
+        return None
+    driver = _ShardDriver(
+        query,
+        key,
+        jobs,
+        statistics,
+        partitioning,
+        parameters,
+        builder,
+        probe,
+        tiers,
+        budget,
+        deadline_remaining,
+        anytime,
+    )
+    label = f"{probe.algorithm_name}[parallel x{jobs}]"
+    degraded_reason = ""
+    with obs.span(
+        "parallel.search",
+        strategy="memo-shard",
+        jobs=jobs,
+        algorithm=key,
+        tiers=join_graph.size,
+        entries=len(tiers[1]) + non_singleton,
+    ) as parallel_span:
+        dispatch_at = driver.tracer.now() if driver.tracer is not None else 0.0
+        driver.start()
+        graceful = True
+        try:
+            try:
+                driver.run()
+                plan = driver.reconstruct(join_graph.full, {})
+            except _TierExpired as expiry:
+                if not anytime:
+                    seconds = (
+                        driver.deadline.seconds
+                        if driver.deadline is not None
+                        else 0.0
+                    )
+                    raise OptimizationTimeout(
+                        f"{probe.algorithm_name} exceeded {seconds:.0f}s"
+                    ) from None
+                plan, label, degraded_reason = driver.degraded_plan(
+                    expiry.tiers_done
+                )
+            except BaseException:
+                graceful = False
+                raise
+        finally:
+            driver.shutdown(graceful)
+        wall = time.perf_counter() - driver.spawn_started
+        driver.adopt_traces(parallel_span, dispatch_at)
+        parallel_span.set(wall_seconds=wall, steals=driver.steals)
+    stats = driver.stats(wall)
+    if degraded_reason:
+        stats.degraded = True
+        stats.degradation_reason = degraded_reason
+        obs.event("governance.degraded", algorithm=label, reason=degraded_reason)
+        obs.count("governance.anytime_plans")
+    obs.count("parallel.steals", driver.steals)
+    obs.gauge("parallel.worker_balance", stats.worker_balance)
+    stats.flush_to_metrics()
+    return OptimizationResult(
+        plan=plan,
+        algorithm=label,
+        stats=stats,
+        elapsed_seconds=time.perf_counter() - started,
+    )

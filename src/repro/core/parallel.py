@@ -10,13 +10,24 @@ shared-nothing workers:
   ordinary serial algorithm, so per-query results (plan, cost, stats)
   are bit-identical to serial execution by construction.
 
-* **Intra-query** — :func:`optimize_query_parallel` splits the
-  *root-level* connected-multi-division space of TD-CMD / TD-CMDP
-  round-robin across workers.  Each worker runs a full memoized
-  sub-search restricted to its root slice; the driver merges the
-  results, picking the cheapest root candidate.  Because every
-  candidate's cost is computed by the same arithmetic in every worker,
-  the merged plan cost is bit-identical to the serial search.
+* **Intra-query** — :func:`optimize_query_parallel` parallelizes a
+  single TD-CMD / TD-CMDP search.  Two strategies
+  (:data:`PARALLEL_STRATEGIES`):
+
+  * ``"memo-shard"`` (the default) — the full DP memo is partitioned
+    into popcount tiers and scheduled across a persistent worker pool
+    with per-tier work queues and work stealing; see
+    :mod:`.memo_shard`.  Every DP subproblem is solved exactly once,
+    so the work scales down with the worker count.
+  * ``"root-slice"`` — the original scheme: the *root-level*
+    connected-multi-division space is split round-robin across
+    workers, each running a full memoized sub-search restricted to its
+    root slice; the driver picks the cheapest root candidate.  Simple,
+    but every worker re-solves almost the whole lower memo.
+
+  Because every candidate's cost is computed by the same arithmetic in
+  every worker, the merged plan cost is bit-identical to the serial
+  search under both strategies.
 
 Merged :class:`~repro.core.enumeration.EnumerationStats` reconstruct the
 serial counters exactly: workers report *exclusive* per-subquery
@@ -79,8 +90,25 @@ _CANCEL_POLL_SECONDS = 0.05
 RequestLike = Union[BGPQuery, Tuple[BGPQuery, Optional[StatisticsCatalog]], Any]
 
 
+#: supported intra-query parallel search strategies
+PARALLEL_STRATEGIES = ("memo-shard", "root-slice")
+
+
 def default_jobs() -> int:
-    """Worker-count default: the CPUs this process may run on."""
+    """Worker-count default: ``REPRO_JOBS`` if set, else available CPUs.
+
+    The environment override pins worker counts in CI, so benchmark
+    baselines and chaos episodes do not vary with runner core count.
+    """
+    override = os.environ.get("REPRO_JOBS")
+    if override:
+        try:
+            value = int(override)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {override!r}"
+            ) from None
+        return max(1, value)
     try:
         return len(os.sched_getaffinity(0))  # type: ignore[attr-defined]
     except AttributeError:  # non-Linux
@@ -169,6 +197,9 @@ def _intra_query_worker(payload: tuple) -> Dict[str, Any]:
     enumerator.slice_index = slice_index
     enumerator.slice_count = slice_count
     tracer = Tracer(track=f"worker-{slice_index}") if trace else None
+    # perf_counter is system-wide monotonic on Linux, so the driver can
+    # subtract its own spawn timestamp to measure pool startup; clamped
+    # to [0, wall] driver-side in case a platform scopes it per process
     started = time.perf_counter()
     if tracer is not None:
         with obs.activate(tracer):
@@ -190,6 +221,7 @@ def _intra_query_worker(payload: tuple) -> Dict[str, Any]:
         "memo_hits": result.stats.memo_hits,
         "subqueries": result.stats.subqueries_expanded,
         "elapsed": elapsed,
+        "started_at": started,
         "degraded": result.stats.degraded,
         "degradation_reason": result.stats.degradation_reason,
         "trace": tracer.to_payload() if tracer is not None else None,
@@ -197,7 +229,10 @@ def _intra_query_worker(payload: tuple) -> Dict[str, Any]:
 
 
 def _merge_worker_stats(
-    outcomes: List[Dict[str, Any]], root_is_local: bool, wall_seconds: float
+    outcomes: List[Dict[str, Any]],
+    root_is_local: bool,
+    wall_seconds: float,
+    startup_seconds: float = 0.0,
 ) -> EnumerationStats:
     """Rebuild serial-equivalent counters from per-worker records.
 
@@ -206,6 +241,11 @@ def _merge_worker_stats(
     set is a function of the bitset alone).  Root records cover disjoint
     division slices and are summed — minus the flat local seed plan,
     which every worker prices but the serial search prices once.
+
+    ``speedup`` divides the summed worker seconds by the wall time
+    *minus pool spin-up* (*startup_seconds*): process forking is a
+    fixed platform cost, and charging it to the search systematically
+    understated small-query speedups.
     """
     records: Dict[int, SubqueryRecord] = {}
     for outcome in outcomes:
@@ -219,6 +259,9 @@ def _merge_worker_stats(
         root_plans -= len(outcomes) - 1
     root_divisions = sum(o["root_record"].divisions_enumerated for o in outcomes)
     worker_seconds = [o["elapsed"] for o in outcomes]
+    startup = min(max(0.0, startup_seconds), wall_seconds)
+    search_wall = wall_seconds - startup
+    shares = [o["subqueries"] for o in outcomes]
     return EnumerationStats(
         plans_considered=plans + root_plans,
         divisions_enumerated=divisions + root_divisions,
@@ -226,9 +269,11 @@ def _merge_worker_stats(
         memo_hits=sum(o["memo_hits"] for o in outcomes),
         local_short_circuits=shorts,
         workers=len(outcomes),
-        per_worker_subqueries=[o["subqueries"] for o in outcomes],
+        per_worker_subqueries=shares,
         per_worker_seconds=worker_seconds,
-        speedup=(sum(worker_seconds) / wall_seconds) if wall_seconds > 0 else 0.0,
+        speedup=(sum(worker_seconds) / search_wall) if search_wall > 0 else 0.0,
+        worker_balance=(min(shares) / max(shares)) if max(shares, default=0) else 0.0,
+        pool_startup_seconds=startup,
     )
 
 
@@ -285,28 +330,38 @@ def optimize_query_parallel(
     timeout_seconds: Optional[float] = None,
     seed: int = 0,
     budget: Optional[QueryBudget] = None,
+    strategy: str = "memo-shard",
 ) -> OptimizationResult:
-    """Optimize one query with the root division space split across workers.
+    """Optimize one query with the DP search split across workers.
 
     Only ``td-cmd`` and ``td-cmdp`` are supported — their search is
-    driven entirely by the ``divisions`` hook, which is what gets
-    sliced.  Plan cost and all merged counters except ``memo_hits`` are
-    identical to the serial search; degenerate cases (one job, a root
-    with fewer divisions than workers, or a Rule-3 local short-circuit
-    at the root) transparently fall back to the serial path.
+    driven entirely by the ``divisions`` hook and the memo table, which
+    is what gets sharded or sliced (see :data:`PARALLEL_STRATEGIES` and
+    the module docstring for the two schemes).  Plan cost is identical
+    to the serial search under both strategies; degenerate cases (one
+    job, a search space too small to shard, or a Rule-3 local
+    short-circuit at the root) transparently fall back to the serial
+    path.
 
     With a *budget*, the remaining deadline allowance and the anytime
     flag travel to every worker (re-anchored on the worker's clock);
     the cancellation token stays driver-side — the driver polls it
-    between completions and abandons the pool on cancel, since tokens
-    do not cross process boundaries.  Any worker degrading marks the
-    merged result degraded.
+    while the pool runs and abandons it on cancel, since tokens do not
+    cross process boundaries.  Under ``memo-shard`` an expiring anytime
+    deadline yields a complete plan merged from the finished tiers;
+    under ``root-slice`` any worker degrading marks the merged result
+    degraded.
     """
     key = algorithm.lower()
     if key not in PARALLELIZABLE_ALGORITHMS:
         raise ValueError(
             f"intra-query parallel search supports {PARALLELIZABLE_ALGORITHMS}, "
             f"not {algorithm!r}"
+        )
+    if strategy not in PARALLEL_STRATEGIES:
+        raise ValueError(
+            f"unknown parallel strategy {strategy!r}; "
+            f"expected one of {PARALLEL_STRATEGIES}"
         )
     started = time.perf_counter()
     if budget is not None:
@@ -340,19 +395,38 @@ def optimize_query_parallel(
     if root_is_local and probe.local_short_circuit:
         # Rule 3 answers the root immediately; nothing to parallelize
         return serial_fallback()
-    # the raw generator when available (`_divisions`): the probe pass only
-    # counts divisions, and must not inflate the `pruning.*` trace counters
-    probe_divisions = getattr(probe, "_divisions", probe.divisions)
-    root_division_count = sum(1 for _ in probe_divisions(join_graph.full))
-    jobs = max(1, min(jobs, root_division_count))
-    if jobs <= 1:
-        return serial_fallback()
-    tracer = obs.current_tracer()
     if budget is not None and budget.deadline is not None:
         deadline_remaining: Optional[float] = budget.deadline.remaining()
     else:
         deadline_remaining = timeout_seconds
     anytime = budget.anytime if budget is not None else False
+    if strategy == "memo-shard":
+        from .memo_shard import optimize_memo_sharded
+
+        result = optimize_memo_sharded(
+            query,
+            key,
+            jobs,
+            statistics,
+            partitioning,
+            parameters,
+            builder,
+            probe,
+            budget,
+            deadline_remaining,
+            anytime,
+            started,
+        )
+        if result is not None:
+            return result
+        return serial_fallback()
+    # raw divisions: the probe pass only counts, and must not inflate
+    # the `pruning.*` trace counters
+    root_division_count = sum(1 for _ in probe.raw_divisions(join_graph.full))
+    jobs = max(1, min(jobs, root_division_count))
+    if jobs <= 1:
+        return serial_fallback()
+    tracer = obs.current_tracer()
     payloads = [
         (
             query,
@@ -370,6 +444,7 @@ def optimize_query_parallel(
     ]
     with obs.span(
         "parallel.search",
+        strategy="root-slice",
         jobs=jobs,
         algorithm=key,
         root_divisions=root_division_count,
@@ -401,8 +476,10 @@ def optimize_query_parallel(
                         rebase_to=dispatch_at,
                     )
         parallel_span.set(wall_seconds=wall)
+    # earliest worker entry timestamp bounds pool spin-up (fork + import)
+    startup = max(0.0, min(o["started_at"] for o in outcomes) - spawn_started)
     best = min(enumerate(outcomes), key=lambda item: (item[1]["cost"], item[0]))[1]
-    stats = _merge_worker_stats(outcomes, root_is_local, wall)
+    stats = _merge_worker_stats(outcomes, root_is_local, wall, startup)
     label = f"{probe.algorithm_name}[parallel x{jobs}]"
     degraded = [o for o in outcomes if o["degraded"]]
     if degraded:

@@ -108,6 +108,12 @@ class PrunedTopDownEnumerator(TopDownEnumerator):
             counters[1].inc(multiway)
             counters[2].inc(broadcast_pruned)
 
+    def raw_divisions(
+        self, bits: int
+    ) -> Iterator[Tuple[Tuple[int, ...], Variable, Sequence[JoinAlgorithm]]]:
+        """The pruned division space without rule-hit counting."""
+        return self._divisions(bits)
+
     def _divisions(
         self, bits: int
     ) -> Iterator[Tuple[Tuple[int, ...], Variable, Sequence[JoinAlgorithm]]]:

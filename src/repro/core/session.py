@@ -81,6 +81,11 @@ class OptimizeOptions:
     plan_cache: Optional[PlanCache] = None
     #: worker processes for the intra-query parallel search
     jobs: int = 1
+    #: intra-query parallel scheme when ``jobs > 1``: ``"memo-shard"``
+    #: (popcount-tiered memo sharding with work stealing) or
+    #: ``"root-slice"`` (the legacy root-division round-robin); see
+    #: :data:`repro.core.parallel.PARALLEL_STRATEGIES`
+    parallel_strategy: str = "memo-shard"
     #: run the plan-invariant verifier on every returned plan
     verify: bool = False
     #: collect spans + metrics for every call (``session.tracer``)
@@ -177,6 +182,13 @@ class Optimizer:
             )
         if base.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {base.jobs}")
+        from .parallel import PARALLEL_STRATEGIES  # late: parallel imports core
+
+        if base.parallel_strategy not in PARALLEL_STRATEGIES:
+            raise ValueError(
+                f"unknown parallel strategy {base.parallel_strategy!r}; "
+                f"choose from {PARALLEL_STRATEGIES}"
+            )
         from ..engine.executor import ENGINES  # late: engine depends on core
 
         if base.engine not in ENGINES:
@@ -342,6 +354,7 @@ class Optimizer:
                 partitioning=options.partitioning,
                 parameters=options.parameters,
                 budget=budget,
+                strategy=options.parallel_strategy,
             )
         else:
             with obs.span("build", patterns=len(query)):

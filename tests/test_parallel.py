@@ -1,8 +1,9 @@
 """Tests for the process-pool parallel plan search (core.parallel).
 
-The contract under test is *equivalence*: the parallel paths must
-return bit-identical plan costs — and, for everything except
-``memo_hits``, bit-identical enumeration counters — to the serial
+The contract under test is *equivalence*: the parallel paths — both
+``memo-shard`` and ``root-slice`` strategies — must return
+bit-identical plan costs (and, for everything except ``memo_hits``
+under root-slice, bit-identical enumeration counters) to the serial
 optimizer, for every algorithm and seed.
 """
 
@@ -13,12 +14,14 @@ import pytest
 from repro.core import (
     CartesianProductError,
     PARALLELIZABLE_ALGORITHMS,
+    PARALLEL_STRATEGIES,
     StatisticsCatalog,
     default_jobs,
     optimize,
     optimize_many,
     optimize_query_parallel,
 )
+from repro.core.parallel import _merge_worker_stats
 from repro.core.plan_cache import PlanCache
 from repro.partitioning import HashSubjectObject, PathBMC
 from repro.sparql import parse_query
@@ -107,15 +110,16 @@ class TestOptimizeMany:
 
 
 class TestIntraQueryParallel:
+    @pytest.mark.parametrize("strategy", PARALLEL_STRATEGIES)
     @pytest.mark.parametrize("algorithm", PARALLELIZABLE_ALGORITHMS)
     @pytest.mark.parametrize("seed", [0, 3, 11])
-    def test_matches_serial_exactly(self, algorithm, seed):
-        """Sliced root search == serial search: cost and every counter
-        except the traversal-dependent memo_hits."""
+    def test_matches_serial_exactly(self, strategy, algorithm, seed):
+        """Parallel search == serial search under both strategies: cost
+        and every counter except the traversal-dependent memo_hits."""
         query = tree_query(9, random.Random(seed))
         serial = optimize(query, algorithm=algorithm, seed=seed)
         parallel = optimize_query_parallel(
-            query, algorithm=algorithm, jobs=3, seed=seed
+            query, algorithm=algorithm, jobs=3, seed=seed, strategy=strategy
         )
         assert parallel.cost == serial.cost
         assert parallel.plan.describe() == serial.plan.describe()
@@ -128,50 +132,88 @@ class TestIntraQueryParallel:
             parallel.stats.subqueries_expanded == serial.stats.subqueries_expanded
         )
 
-    def test_reports_worker_stats(self):
+    @pytest.mark.parametrize("strategy", PARALLEL_STRATEGIES)
+    def test_reports_worker_stats(self, strategy):
         query = cycle_query(7)
-        result = optimize_query_parallel(query, algorithm="td-cmd", jobs=3)
+        result = optimize_query_parallel(
+            query, algorithm="td-cmd", jobs=3, strategy=strategy
+        )
         assert result.stats.workers == 3
         assert len(result.stats.per_worker_subqueries) == 3
         assert len(result.stats.per_worker_seconds) == 3
         assert all(n > 0 for n in result.stats.per_worker_subqueries)
         assert result.stats.speedup > 0.0
+        assert 0.0 < result.stats.worker_balance <= 1.0
+        assert result.stats.steals >= 0
         assert "[parallel x3]" in result.algorithm
 
-    def test_partitioned_search_matches_serial(self):
-        """Local-query detection (Rule 2/3) survives the root slicing."""
+    def test_worker_balance_and_steals_in_summary(self):
+        """The skew metrics reach summary() for multi-worker runs."""
+        query = cycle_query(7)
+        result = optimize_query_parallel(query, algorithm="td-cmd", jobs=3)
+        summary = result.stats.summary()
+        assert "worker_balance" in summary
+        assert "steals" in summary
+        assert summary["worker_balance"] == result.stats.worker_balance
+        serial = optimize(query, algorithm="td-cmd")
+        assert "worker_balance" not in serial.stats.summary()
+
+    @pytest.mark.parametrize("strategy", PARALLEL_STRATEGIES)
+    def test_partitioned_search_matches_serial(self, strategy):
+        """Local-query detection (Rule 2/3) survives the parallel split."""
         query = star_query(5)
         method = HashSubjectObject()
         serial = optimize(query, algorithm="td-cmdp", partitioning=method)
         parallel = optimize_query_parallel(
-            query, algorithm="td-cmdp", jobs=2, partitioning=method
+            query, algorithm="td-cmdp", jobs=2, partitioning=method,
+            strategy=strategy,
         )
         assert parallel.cost == serial.cost
+        assert parallel.plan.describe() == serial.plan.describe()
+
+    def test_root_slice_partitioned_counters_match_serial(self):
+        """Root-slice additionally reproduces the serial counters under
+        partitioning (memo-shard tiers are a documented superset there)."""
+        query = star_query(5)
+        method = HashSubjectObject()
+        serial = optimize(query, algorithm="td-cmdp", partitioning=method)
+        parallel = optimize_query_parallel(
+            query, algorithm="td-cmdp", jobs=2, partitioning=method,
+            strategy="root-slice",
+        )
         assert parallel.stats.plans_considered == serial.stats.plans_considered
 
-    def test_rule3_short_circuit_falls_back_to_serial(self):
-        """A root answered locally by Rule 3 has nothing to slice."""
+    @pytest.mark.parametrize("strategy", PARALLEL_STRATEGIES)
+    def test_rule3_short_circuit_falls_back_to_serial(self, strategy):
+        """A root answered locally by Rule 3 has nothing to parallelize."""
         query = chain_query(3)
         method = PathBMC()  # chains are local under path partitioning
         result = optimize_query_parallel(
-            query, algorithm="td-cmdp", jobs=4, partitioning=method
+            query, algorithm="td-cmdp", jobs=4, partitioning=method,
+            strategy=strategy,
         )
         serial = optimize(query, algorithm="td-cmdp", partitioning=method)
         assert result.cost == serial.cost
         assert result.stats.workers == 1
         assert "[parallel" not in result.algorithm
 
-    def test_jobs_capped_by_root_division_count(self):
-        """More workers than root divisions must not crash or distort."""
-        query = chain_query(3)  # tiny root division space
+    @pytest.mark.parametrize("strategy", PARALLEL_STRATEGIES)
+    def test_jobs_capped_by_search_space(self, strategy):
+        """More workers than the space supports must not crash or distort."""
+        query = chain_query(3)  # tiny search space
         serial = optimize(query, algorithm="td-cmd")
-        result = optimize_query_parallel(query, algorithm="td-cmd", jobs=64)
+        result = optimize_query_parallel(
+            query, algorithm="td-cmd", jobs=64, strategy=strategy
+        )
         assert result.cost == serial.cost
         assert result.stats.plans_considered == serial.stats.plans_considered
 
-    def test_jobs_one_is_plain_serial(self):
+    @pytest.mark.parametrize("strategy", PARALLEL_STRATEGIES)
+    def test_jobs_one_is_plain_serial(self, strategy):
         query = cycle_query(5)
-        result = optimize_query_parallel(query, algorithm="td-cmd", jobs=1)
+        result = optimize_query_parallel(
+            query, algorithm="td-cmd", jobs=1, strategy=strategy
+        )
         assert result.stats.workers == 1
         assert "[parallel" not in result.algorithm
 
@@ -180,12 +222,62 @@ class TestIntraQueryParallel:
         with pytest.raises(ValueError):
             optimize_query_parallel(query, algorithm="hgr-td-cmd", jobs=2)
 
+    def test_unknown_strategy_rejected(self):
+        query = chain_query(4)
+        with pytest.raises(ValueError, match="parallel strategy"):
+            optimize_query_parallel(
+                query, algorithm="td-cmd", jobs=2, strategy="magic"
+            )
+
     def test_disconnected_query_rejected(self):
         query = parse_query(
             "SELECT * WHERE { ?a <http://e/p> ?b . ?c <http://e/q> ?d . }"
         )
         with pytest.raises(CartesianProductError):
             optimize_query_parallel(query, algorithm="td-cmd", jobs=2)
+
+
+class TestMergeWorkerStats:
+    """The pool-startup exclusion in the merged speedup (regression)."""
+
+    @staticmethod
+    def _outcome(elapsed, subqueries=5):
+        from repro.core.enumeration import SubqueryRecord
+
+        return {
+            "records": {},
+            "root_record": SubqueryRecord(),
+            "memo_hits": 0,
+            "subqueries": subqueries,
+            "elapsed": elapsed,
+        }
+
+    def test_speedup_excludes_pool_startup(self):
+        """2 workers busy 0.25 s each over a 2 s wall of which 1.5 s was
+        pool spin-up: speedup must be 0.5/0.5 = 1.0, not 0.5/2.0."""
+        outcomes = [self._outcome(0.25), self._outcome(0.25)]
+        stats = _merge_worker_stats(
+            outcomes, root_is_local=False, wall_seconds=2.0, startup_seconds=1.5
+        )
+        assert stats.pool_startup_seconds == pytest.approx(1.5)
+        assert stats.speedup == pytest.approx(1.0)
+
+    def test_startup_clamped_to_wall(self):
+        """A bogus startup beyond the wall must not produce a negative
+        or infinite speedup."""
+        outcomes = [self._outcome(0.1)]
+        stats = _merge_worker_stats(
+            outcomes, root_is_local=False, wall_seconds=0.5, startup_seconds=9.0
+        )
+        assert stats.pool_startup_seconds == pytest.approx(0.5)
+        assert stats.speedup == 0.0
+
+    def test_zero_startup_matches_old_behavior(self):
+        outcomes = [self._outcome(1.0), self._outcome(1.0)]
+        stats = _merge_worker_stats(outcomes, root_is_local=False, wall_seconds=1.0)
+        assert stats.pool_startup_seconds == 0.0
+        assert stats.speedup == pytest.approx(2.0)
+        assert stats.worker_balance == pytest.approx(1.0)
 
 
 class TestOptimizeEntryPoint:
@@ -203,4 +295,16 @@ class TestOptimizeEntryPoint:
         assert result.cost == optimize(query, algorithm="hgr-td-cmd").cost
 
     def test_default_jobs_is_positive(self):
+        assert default_jobs() >= 1
+
+    def test_default_jobs_honors_env_override(self, monkeypatch):
+        """REPRO_JOBS pins the worker default for CI determinism."""
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == 1  # clamped to at least one worker
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            default_jobs()
+        monkeypatch.delenv("REPRO_JOBS")
         assert default_jobs() >= 1
