@@ -309,6 +309,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(args.paths, select=args.select)
 
 
+def cmd_check_concurrency(args: argparse.Namespace) -> int:
+    from .analysis.concurrency import main as concurrency_main
+
+    return concurrency_main(args.paths, select=args.select)
+
+
 def cmd_verify_plan(args: argparse.Namespace) -> int:
     from .analysis import PlanVerifier, VerificationContext
     from .core.serialize import plan_from_dict
@@ -608,6 +614,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to specific rules (e.g. LINT001 LINT003)",
     )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_conc = sub.add_parser(
+        "check-concurrency",
+        help="run the interprocedural concurrency/process-safety "
+        "analyzer (lock discipline, pickle safety, poll reachability)",
+    )
+    p_conc.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    p_conc.add_argument(
+        "--select",
+        nargs="+",
+        metavar="CODE",
+        default=None,
+        help="restrict to specific rules (e.g. LINT010 LINT014)",
+    )
+    p_conc.set_defaults(func=cmd_check_concurrency)
 
     p_verify = sub.add_parser(
         "verify-plan", help="check a serialized plan against the paper invariants"

@@ -1,0 +1,134 @@
+"""Interprocedural concurrency & process-safety analyzer.
+
+Four passes over the whole ``src/repro`` tree (not per-file like the
+determinism lint — lock discipline and poll reachability are
+cross-function properties):
+
+======== ==============================================================
+Code     Property
+======== ==============================================================
+LINT010  ``#: guarded-by:`` fields only touched under their lock
+LINT011  no blocking call (``.result``/``.recv``/``queue.get``/…)
+         while holding a lock
+LINT012  nothing unpicklable reaches a process boundary
+LINT013  worker entry code does not read mutated module globals
+LINT014  every hot loop reachable from ``Optimizer.optimize`` /
+         ``Executor.execute`` polls the query budget
+======== ==============================================================
+
+CLI: ``python -m repro check-concurrency [paths]``.  Suppression uses
+the same per-line grammar as the determinism lint:
+``# lint: disable=LINT010 <justification>``.
+
+The dynamic lock-order race detector lives in :mod:`.runtime` and is
+imported lazily — production code must never import this package.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..lint.diagnostics import (
+    Diagnostic,
+    Severity,
+    is_suppressed,
+    parse_suppressions,
+    render_all,
+    sort_key,
+)
+from ..lint.runner import iter_python_files
+from .callgraph import build_call_graph
+from .cancellation import check_cancellation_polls
+from .guards import check_lock_discipline
+from .model import Project, build_project
+from .pickle_safety import check_pickle_safety, check_worker_globals
+
+#: code → one-line summary (docs + ``--select`` validation)
+CONCURRENCY_RULES: Dict[str, str] = {
+    "LINT010": "guarded-by field accessed without holding its declared lock",
+    "LINT011": "potentially blocking call while holding a lock",
+    "LINT012": "unpicklable value reaches a process boundary",
+    "LINT013": "worker entry path reads a mutated module global",
+    "LINT014": "hot loop reachable from optimize/execute never polls the budget",
+}
+
+
+def analyze_files(
+    files: Sequence[Tuple[str, str]], select: Optional[Iterable[str]] = None
+) -> List[Diagnostic]:
+    """Analyze ``(path, source)`` pairs; suppressions honored per file.
+
+    This is the unit-test surface: fixtures hand in a tiny multi-file
+    project under pretend paths, exactly like the determinism lint's
+    ``check_source``.
+    """
+    wanted = set(select) if select is not None else None
+    findings: List[Diagnostic] = []
+    # a file that does not parse is one finding, not a crash
+    parsed: List[Tuple[str, str]] = []
+    for path, source in files:
+        try:
+            ast.parse(source, filename=path)
+        except SyntaxError as error:
+            findings.append(
+                Diagnostic(
+                    path=path,
+                    line=error.lineno or 1,
+                    column=error.offset or 1,
+                    code="LINT000",
+                    severity=Severity.ERROR,
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+            continue
+        parsed.append((path, source))
+
+    project = build_project(parsed)
+    graph = build_call_graph(project)
+    for pass_findings in (
+        check_lock_discipline(project),
+        check_pickle_safety(project),
+        check_worker_globals(project),
+        check_cancellation_polls(project, graph),
+    ):
+        findings.extend(pass_findings)
+
+    if wanted is not None:
+        findings = [f for f in findings if f.code in wanted or f.code == "LINT000"]
+
+    suppressions_by_path = {
+        path: parse_suppressions(source) for path, source in parsed
+    }
+    kept = [
+        f
+        for f in findings
+        if not is_suppressed(f, suppressions_by_path.get(f.path, {}))
+    ]
+    return sorted(kept, key=sort_key)
+
+
+def check_concurrency_paths(
+    paths: Sequence[Union[str, Path]], select: Optional[Iterable[str]] = None
+) -> List[Diagnostic]:
+    """Analyze every ``.py`` file under *paths* as one project."""
+    files = [
+        (str(file), file.read_text(encoding="utf-8"))
+        for file in iter_python_files(paths)
+    ]
+    return analyze_files(files, select)
+
+
+def main(paths: Sequence[str], select: Optional[Iterable[str]] = None) -> int:
+    """CLI entry: print findings, return 0 (clean) or 1 (findings)."""
+    findings = check_concurrency_paths(paths, select)
+    if findings:
+        print(render_all(findings))
+        errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+        warnings = len(findings) - errors
+        print(f"check-concurrency: {errors} error(s), {warnings} warning(s)")
+        return 1
+    files = len(iter_python_files(paths))
+    print(f"check-concurrency: {files} file(s) clean")
+    return 0

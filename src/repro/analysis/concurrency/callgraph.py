@@ -1,0 +1,198 @@
+"""May-call graph over a :class:`~.model.Project`.
+
+Resolution is deliberately *may*-biased: a call we cannot pin to one
+target resolves to every plausible definer (same-name methods across
+the project).  For reachability properties (LINT014: "every loop on a
+path from ``optimize`` must poll") over-approximating callees means we
+check more loops, never fewer — the safe direction for an analyzer
+whose job is to stop hot loops from silently escaping the deadline
+contract.
+
+Resolved call kinds:
+
+* ``f(...)``            → same-module function, ``from m import f``
+  target, or a known class's ``__init__``
+* ``self.m(...)``       → ``m`` across the enclosing class hierarchy
+* ``mod.f(...)``        → ``f`` in the imported module
+* ``obj.m(...)``        → every project method named ``m`` (fallback)
+* ``pool.submit(f, …)`` / ``Process(target=f)`` → ``f`` (the callable
+  escapes into a worker; treated as a call edge)
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .model import ClassInfo, FunctionInfo, ModuleInfo, Project
+
+FuncKey = Tuple[str, str]
+
+#: call-sites whose first argument (or ``target=``) is a callable that
+#: will run elsewhere — still an edge for reachability purposes
+_CALLABLE_SINKS = frozenset({"submit", "map", "Process", "Thread", "apply_async"})
+
+
+@dataclass
+class CallGraph:
+    """Adjacency over function keys plus reverse reachability helpers."""
+
+    project: Project
+    edges: Dict[FuncKey, Set[FuncKey]] = field(default_factory=dict)
+
+    def callees(self, key: FuncKey) -> Set[FuncKey]:
+        """The resolved may-call targets of one function (empty if leaf)."""
+        return self.edges.get(key, set())
+
+    def reachable_from(self, roots: List[FuncKey]) -> Set[FuncKey]:
+        """Every function transitively callable from *roots* (inclusive)."""
+        seen: Set[FuncKey] = set()
+        frontier = [r for r in roots]
+        while frontier:
+            key = frontier.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            frontier.extend(self.edges.get(key, ()))
+        return seen
+
+    def transitive_closure_of(self, predicate_keys: Set[FuncKey]) -> Set[FuncKey]:
+        """Functions that reach a key in *predicate_keys* (inclusive).
+
+        Fixed point over the reversed graph: used to compute "polls the
+        budget transitively" for LINT014.
+        """
+        closure = set(predicate_keys)
+        changed = True
+        while changed:
+            changed = False
+            for caller, callees in self.edges.items():
+                if caller not in closure and callees & closure:
+                    closure.add(caller)
+                    changed = True
+        return closure
+
+
+def _resolve_name_call(
+    name: str, module: ModuleInfo, project: Project
+) -> List[FuncKey]:
+    """Resolve a bare-name call/reference inside *module*."""
+    # same-module function
+    if name in module.functions:
+        return [(module.modname, name)]
+    # same-module class instantiation → __init__
+    if name in module.classes:
+        cls = module.classes[name]
+        if "__init__" in cls.methods:
+            return [(module.modname, f"{name}.__init__")]
+        return []
+    # from-import: resolve in the source module (absolute or package-relative)
+    if name in module.from_imports:
+        source_mod, original = module.from_imports[name]
+        for candidate in _candidate_modules(source_mod, module.modname, project):
+            resolved = _resolve_name_call(original, candidate, project)
+            if resolved:
+                return resolved
+        # fall back to any project class/function with the original name
+        for cls in project.classes_by_name.get(original, []):
+            if "__init__" in cls.methods:
+                return [(cls.module, f"{cls.name}.__init__")]
+    return []
+
+
+def _candidate_modules(
+    source_mod: str, importer: str, project: Project
+) -> List[ModuleInfo]:
+    """Modules that ``from source_mod import ...`` may refer to."""
+    candidates = []
+    if source_mod in project.modules:
+        candidates.append(project.modules[source_mod])
+    # relative imports arrive as the bare tail ("optimizer" for
+    # ``from .optimizer import x``); try siblings of the importer
+    package = importer.rsplit(".", 1)[0] if "." in importer else ""
+    for prefix in (package, "repro." + source_mod.split(".")[0]):
+        dotted = f"{package}.{source_mod}" if prefix == package else prefix
+        if dotted in project.modules:
+            candidates.append(project.modules[dotted])
+    # suffix match as a last resort (pretend test paths)
+    for modname, module in project.modules.items():
+        if modname.endswith("." + source_mod.split(".")[-1]):
+            candidates.append(module)
+    return candidates
+
+
+def _resolve_attribute_call(
+    node: ast.Attribute,
+    owner: Optional[ClassInfo],
+    module: ModuleInfo,
+    project: Project,
+) -> List[FuncKey]:
+    attr = node.attr
+    value = node.value
+    # self.m() → the enclosing class hierarchy's m
+    if isinstance(value, ast.Name) and value.id == "self" and owner is not None:
+        keys = [
+            (cls.module, f"{cls.name}.{attr}")
+            for cls in project.class_hierarchy(owner)
+            if attr in cls.methods
+        ]
+        if keys:
+            return keys
+    # mod.f() → imported module's function
+    if isinstance(value, ast.Name) and value.id in module.module_aliases:
+        target_mod = module.module_aliases[value.id]
+        for candidate in _candidate_modules(target_mod, module.modname, project):
+            if attr in candidate.functions:
+                return [(candidate.modname, attr)]
+    # obj.m() → every project method named m (may-call fallback)
+    return [m.key for m in project.methods_by_name.get(attr, [])]
+
+
+def _callable_argument_keys(
+    call: ast.Call, module: ModuleInfo, project: Project
+) -> List[FuncKey]:
+    """Edges for callables escaping into pools/processes/threads."""
+    sink_name = (
+        call.func.attr
+        if isinstance(call.func, ast.Attribute)
+        else call.func.id
+        if isinstance(call.func, ast.Name)
+        else ""
+    )
+    if sink_name not in _CALLABLE_SINKS:
+        return []
+    candidates: List[ast.expr] = []
+    if call.args:
+        candidates.append(call.args[0])
+    for keyword in call.keywords:
+        if keyword.arg in ("target", "func", "fn"):
+            candidates.append(keyword.value)
+    keys: List[FuncKey] = []
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name):
+            keys.extend(_resolve_name_call(candidate.id, module, project))
+    return keys
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    """One pass over every function body, resolving each call site."""
+    graph = CallGraph(project=project)
+    for func in project.functions():
+        module = project.modules[func.module]
+        owner = (
+            module.classes.get(func.class_name) if func.class_name else None
+        )
+        targets: Set[FuncKey] = set()
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name):
+                targets.update(_resolve_name_call(node.func.id, module, project))
+            elif isinstance(node.func, ast.Attribute):
+                targets.update(
+                    _resolve_attribute_call(node.func, owner, module, project)
+                )
+            targets.update(_callable_argument_keys(node, module, project))
+        graph.edges[func.key] = targets
+    return graph

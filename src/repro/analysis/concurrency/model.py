@@ -1,0 +1,380 @@
+"""Shared program model for the concurrency analyzer.
+
+Parses a set of source files into a :class:`Project`: modules, classes,
+methods, imports, and the ``#: guarded-by: <lock>`` declarations that
+drive the lock-discipline pass (LINT010) and the runtime detector.
+
+Annotation grammar
+------------------
+A field is declared lock-protected with a comment of the form::
+
+    #: guarded-by: _lock
+
+either trailing the assignment that introduces the field (a
+``self.x = ...`` statement in ``__init__`` or an ``AnnAssign`` in the
+class body) or on its own line directly above it.  The lock name must
+be an attribute of the same instance (``self._lock``).  Declarations
+are parsed from the token stream, so they survive reformatting.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+#: ``#: guarded-by: <lockname>`` — the declaration comment grammar
+GUARDED_BY_RE = re.compile(r"#:?\s*guarded-by:\s*(?P<lock>[A-Za-z_][A-Za-z0-9_]*)")
+
+#: threading constructors whose instances act as locks at runtime
+LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"})
+
+
+def parse_guard_comments(source: str) -> Dict[int, str]:
+    """Map *code* line number → lock name for ``guarded-by`` comments.
+
+    A trailing comment declares the assignment on its own line; a
+    standalone comment (nothing but whitespace before it) declares the
+    assignment on the following line.  The distinction matters: the
+    trailing declaration of one field must not leak onto the next.
+    """
+    guards: Dict[int, str] = {}
+    lines = source.splitlines()
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = GUARDED_BY_RE.search(token.string)
+            if not match:
+                continue
+            line, column = token.start
+            prefix = lines[line - 1][:column] if line <= len(lines) else ""
+            standalone = not prefix.strip()
+            guards[line + 1 if standalone else line] = match.group("lock")
+    except tokenize.TokenError:
+        pass
+    return guards
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, addressable by (module, qualname)."""
+
+    module: str
+    qualname: str  #: ``name`` or ``Class.name``
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    class_name: Optional[str] = None
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """The (module, qualname) pair identifying this function."""
+        return (self.module, self.qualname)
+
+    @property
+    def name(self) -> str:
+        """The bare function name (last qualname segment)."""
+        return self.node.name
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, declared guards, and lock-typed attributes."""
+
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: attr → lock attr name, from ``#: guarded-by:`` declarations
+    guarded: Dict[str, str] = field(default_factory=dict)
+    #: attrs assigned from threading lock factories (``self.x = Lock()``)
+    lock_attrs: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: str
+    modname: str
+    tree: ast.Module
+    source: str
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: local alias → imported module name (``import x.y as z``)
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: local name → (module, original name) for ``from m import n``
+    from_imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: module-level names bound to mutable literals/constructors
+    mutable_globals: Set[str] = field(default_factory=set)
+    #: module-level names mutated somewhere in the module
+    mutated_globals: Set[str] = field(default_factory=set)
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for *path* (``repro.core.x`` when under src)."""
+    parts = list(Path(path).with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    else:
+        # keep a stable tail so pretend test paths still resolve
+        parts = parts[-3:] if len(parts) > 3 else parts
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "defaultdict", "deque", "bytearray", "OrderedDict", "Counter"}
+)
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "setdefault",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "pop",
+        "popitem",
+        "clear",
+        "appendleft",
+    }
+)
+
+
+def _is_mutable_binding(value: ast.expr) -> bool:
+    """Whether a module-level binding's value is a mutable container."""
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _terminal_name(expr: ast.expr) -> str:
+    """The last identifier of a Name/Attribute chain ('' otherwise)."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return ""
+
+
+def _root_name(expr: ast.expr) -> str:
+    """The first identifier of a Name/Attribute/Subscript chain."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return ""
+
+
+def _is_lock_factory_call(value: ast.expr) -> bool:
+    """``threading.Lock()`` / ``Lock()`` / ``mp.RLock()``-shaped calls."""
+    return (
+        isinstance(value, ast.Call)
+        and _terminal_name(value.func) in LOCK_FACTORIES
+    )
+
+
+def _collect_global_mutations(tree: ast.Module, globals_: Set[str]) -> Set[str]:
+    """Module-level names that are mutated anywhere in the module."""
+    mutated: Set[str] = set()
+    for node in ast.walk(tree):
+        # obj.append(...), obj.update(...) — mutator method on a global
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATOR_METHODS:
+                root = _root_name(node.func.value)
+                if root in globals_:
+                    mutated.add(root)
+        # obj[k] = v / obj.attr = v / del obj[k] — store through a global
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+                if isinstance(node, ast.AugAssign)
+                else node.targets
+            )
+            for target in targets:
+                if isinstance(target, (ast.Subscript, ast.Attribute)):
+                    root = _root_name(target)
+                    if root in globals_:
+                        mutated.add(root)
+        # `global X` inside a function followed by rebinding
+        elif isinstance(node, ast.Global):
+            mutated.update(n for n in node.names if n in globals_)
+    return mutated
+
+
+def parse_module(source: str, path: str) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo` (raises SyntaxError)."""
+    tree = ast.parse(source, filename=path)
+    info = ModuleInfo(
+        path=path, modname=module_name_for(path), tree=tree, source=source
+    )
+    guard_comments = parse_guard_comments(source)
+
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                info.module_aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                info.from_imports[alias.asname or alias.name] = (node.module, alias.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[node.name] = FunctionInfo(
+                module=info.modname, qualname=node.name, node=node
+            )
+        elif isinstance(node, ast.ClassDef):
+            info.classes[node.name] = _parse_class(node, info.modname, guard_comments)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and _is_mutable_binding(node.value):
+                    info.mutable_globals.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if (
+                isinstance(node.target, ast.Name)
+                and node.value is not None
+                and _is_mutable_binding(node.value)
+            ):
+                info.mutable_globals.add(node.target.id)
+
+    info.mutated_globals = _collect_global_mutations(tree, info.mutable_globals)
+    return info
+
+
+def _parse_class(
+    node: ast.ClassDef, modname: str, guard_comments: Dict[int, str]
+) -> ClassInfo:
+    cls = ClassInfo(
+        module=modname,
+        name=node.name,
+        node=node,
+        bases=[_terminal_name(b) for b in node.bases if _terminal_name(b)],
+    )
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            cls.methods[stmt.name] = FunctionInfo(
+                module=modname,
+                qualname=f"{node.name}.{stmt.name}",
+                node=stmt,
+                class_name=node.name,
+            )
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            lock = guard_comments.get(stmt.lineno)
+            if lock:
+                cls.guarded[stmt.target.id] = lock
+
+    # `self.x = ...` assignments anywhere in the class body (usually
+    # __init__) carry guard declarations and reveal lock-typed attrs
+    for method in cls.methods.values():
+        for stmt in ast.walk(method.node):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            value = stmt.value
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    lock = guard_comments.get(stmt.lineno)
+                    if lock:
+                        cls.guarded[target.attr] = lock
+                    if value is not None and _is_lock_factory_call(value):
+                        cls.lock_attrs.add(target.attr)
+    # every declared guard names a lock attribute even if we could not
+    # see its construction (e.g. the lock is injected)
+    cls.lock_attrs.update(cls.guarded.values())
+    return cls
+
+
+@dataclass
+class Project:
+    """A parsed source tree: the unit the interprocedural passes run on."""
+
+    modules: Dict[str, ModuleInfo] = field(default_factory=dict)
+
+    #: method name → every FunctionInfo with that name (may-call fallback)
+    methods_by_name: Dict[str, List[FunctionInfo]] = field(default_factory=dict)
+    #: class name → every ClassInfo with that name
+    classes_by_name: Dict[str, List[ClassInfo]] = field(default_factory=dict)
+
+    def add(self, module: ModuleInfo) -> None:
+        """Register one parsed module and index its classes/methods."""
+        self.modules[module.modname] = module
+        for cls in module.classes.values():
+            self.classes_by_name.setdefault(cls.name, []).append(cls)
+            for method in cls.methods.values():
+                self.methods_by_name.setdefault(method.name, []).append(method)
+
+    def functions(self) -> List[FunctionInfo]:
+        """Every function and method in the project, stable order."""
+        out: List[FunctionInfo] = []
+        for modname in sorted(self.modules):
+            module = self.modules[modname]
+            out.extend(module.functions[n] for n in sorted(module.functions))
+            for cls_name in sorted(module.classes):
+                cls = module.classes[cls_name]
+                out.extend(cls.methods[n] for n in sorted(cls.methods))
+        return out
+
+    def lookup(self, key: Tuple[str, str]) -> Optional[FunctionInfo]:
+        """Resolve a (module, qualname) key back to its FunctionInfo."""
+        module = self.modules.get(key[0])
+        if module is None:
+            return None
+        qualname = key[1]
+        if "." in qualname:
+            cls_name, meth = qualname.split(".", 1)
+            cls = module.classes.get(cls_name)
+            return cls.methods.get(meth) if cls else None
+        return module.functions.get(qualname)
+
+    def class_hierarchy(self, cls: ClassInfo) -> List[ClassInfo]:
+        """*cls* plus every project class related by a base-name chain."""
+        related: Dict[Tuple[str, str], ClassInfo] = {}
+        frontier = [cls]
+        while frontier:
+            current = frontier.pop()
+            key = (current.module, current.name)
+            if key in related:
+                continue
+            related[key] = current
+            # superclasses by name
+            for base in current.bases:
+                frontier.extend(self.classes_by_name.get(base, []))
+            # subclasses by name
+            for candidates in self.classes_by_name.values():
+                for other in candidates:
+                    if current.name in other.bases:
+                        frontier.append(other)
+        return list(related.values())
+
+
+def build_project(files: Sequence[Tuple[str, str]]) -> Project:
+    """Build a :class:`Project` from ``(path, source)`` pairs.
+
+    Files that fail to parse are skipped here — the driver reports them
+    separately so one syntax error does not hide all other findings.
+    """
+    project = Project()
+    for path, source in files:
+        try:
+            project.add(parse_module(source, path))
+        except SyntaxError:
+            continue
+    return project

@@ -1,0 +1,335 @@
+"""Dynamic lock-order race detector (opt-in, test-only).
+
+Static lock discipline (LINT010) proves *which* lock guards a field;
+it cannot see the *order* two threads acquire two locks in.  This
+module records that order at runtime: :class:`TrackedLock` wraps a
+``threading.Lock`` and, on every acquisition, adds a ``held → acquiring``
+edge to a global lock-order graph (per-thread held stacks live in a
+:class:`~contextvars.ContextVar`).  A cycle in that graph is a
+potential deadlock — two threads that interleave the cyclic orders
+block forever.  :func:`instrument` additionally watches the
+``#: guarded-by:`` fields of an instance and records a violation when
+one is touched without its declared lock held.
+
+Opt-in and test-only: production code never imports this module.  The
+test suite enables it with ``REPRO_LOCK_DETECTOR=1`` (see
+``tests/conftest.py``); ``REPRO_LOCK_GRAPH_OUT=<path>`` additionally
+writes the observed graph as JSON — CI uploads it as an artifact.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+from typing import Any, Dict, List, Optional, Set, Tuple, Type
+
+#: per-thread (well, per-context) stack of TrackedLocks currently held
+_HELD: "contextvars.ContextVar[Tuple[TrackedLock, ...]]" = contextvars.ContextVar(
+    "repro_held_locks", default=()
+)
+
+_ENV_FLAG = "REPRO_LOCK_DETECTOR"
+_ENV_GRAPH_OUT = "REPRO_LOCK_GRAPH_OUT"
+
+
+def detector_enabled() -> bool:
+    """Whether the env flag opts this process into the detector."""
+    return os.environ.get(_ENV_FLAG, "") == "1"
+
+
+def held_locks() -> Tuple["TrackedLock", ...]:
+    """The TrackedLocks held by the current thread, acquisition order."""
+    return _HELD.get()
+
+
+class LockOrderRegistry:
+    """The global lock-order graph plus guarded-field violations.
+
+    Internally synchronized with a *plain* lock (never a TrackedLock —
+    the registry must not observe itself).
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._edges: Dict[Tuple[str, str], int] = {}
+        self._violations: List[str] = []
+
+    # -- recording ------------------------------------------------------
+    def record_edge(self, held: str, acquiring: str) -> None:
+        """Record one held → acquiring order observation."""
+        if held == acquiring:
+            return  # re-entrant acquisition of the same label
+        with self._mutex:
+            self._edges[(held, acquiring)] = self._edges.get((held, acquiring), 0) + 1
+
+    def record_violation(self, message: str) -> None:
+        """Record one guarded-field-without-lock violation."""
+        with self._mutex:
+            self._violations.append(message)
+
+    def clear(self) -> None:
+        """Forget every recorded edge and violation."""
+        with self._mutex:
+            self._edges.clear()
+            self._violations.clear()
+
+    # -- reporting ------------------------------------------------------
+    @property
+    def violations(self) -> List[str]:
+        """Snapshot of the recorded violations."""
+        with self._mutex:
+            return list(self._violations)
+
+    def edges(self) -> Dict[Tuple[str, str], int]:
+        """Snapshot of the order graph: (held, acquiring) → count."""
+        with self._mutex:
+            return dict(self._edges)
+
+    def cycles(self) -> List[List[str]]:
+        """Every elementary cycle reachable in the order graph (DFS).
+
+        Deterministic: nodes and successors are visited sorted.
+        """
+        edges = self.edges()
+        adjacency: Dict[str, List[str]] = {}
+        for (source, target), _ in sorted(edges.items()):
+            adjacency.setdefault(source, []).append(target)
+        cycles: List[List[str]] = []
+        seen_cycles = set()
+
+        def dfs(node: str, path: List[str], on_path: Set[str]) -> None:
+            for successor in adjacency.get(node, ()):
+                if successor in on_path:
+                    start = path.index(successor)
+                    cycle = path[start:] + [successor]
+                    # canonicalize: rotate so the smallest label leads
+                    body = cycle[:-1]
+                    pivot = body.index(min(body))
+                    canonical = tuple(body[pivot:] + body[:pivot])
+                    if canonical not in seen_cycles:
+                        seen_cycles.add(canonical)
+                        cycles.append(list(canonical) + [canonical[0]])
+                else:
+                    on_path.add(successor)
+                    path.append(successor)
+                    dfs(successor, path, on_path)
+                    path.pop()
+                    on_path.discard(successor)
+
+        for node in sorted(adjacency):
+            dfs(node, [node], {node})
+        return cycles
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serializable dump of the graph (the CI artifact)."""
+        edges = self.edges()
+        return {
+            "edges": [
+                {"from": source, "to": target, "count": count}
+                for (source, target), count in sorted(edges.items())
+            ],
+            "cycles": self.cycles(),
+            "violations": self.violations,
+        }
+
+    def write_graph(self, path: Optional[str] = None) -> Optional[str]:
+        """Write :meth:`to_payload` to *path* (or the env-var path)."""
+        target = path or os.environ.get(_ENV_GRAPH_OUT)
+        if not target:
+            return None
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(self.to_payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return target
+
+    def assert_clean(self) -> None:
+        """Raise AssertionError on any cycle or guarded-field violation."""
+        cycles = self.cycles()
+        violations = self.violations
+        problems = []
+        if cycles:
+            rendered = ["  " + " -> ".join(c) for c in cycles]
+            problems.append("lock-order cycles (potential deadlocks):\n" + "\n".join(rendered))
+        if violations:
+            problems.append(
+                "guarded-field accesses without the declared lock:\n"
+                + "\n".join("  " + v for v in violations)
+            )
+        if problems:
+            raise AssertionError("\n".join(problems))
+
+
+#: the process-wide registry the test suite inspects
+GLOBAL_REGISTRY = LockOrderRegistry()
+
+
+class TrackedLock:
+    """Drop-in ``threading.Lock`` wrapper that records acquisition order.
+
+    ``label`` aggregates edges across instances (``Tracer._lock`` is one
+    graph node no matter how many tracers exist); identity still
+    distinguishes instances for guarded-field checks.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        registry: Optional[LockOrderRegistry] = None,
+        inner: Optional[Any] = None,
+    ) -> None:
+        self.label = label
+        self.registry = registry if registry is not None else GLOBAL_REGISTRY
+        self._inner = inner if inner is not None else threading.Lock()
+
+    # -- lock protocol --------------------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Record order edges against every held lock, then acquire."""
+        held = _HELD.get()
+        for lock in held:
+            self.registry.record_edge(lock.label, self.label)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            _HELD.set(held + (self,))
+        return acquired
+
+    def release(self) -> None:
+        """Release and pop this lock from the per-thread held stack."""
+        held = list(_HELD.get())
+        # remove the most recent occurrence of self (LIFO discipline)
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] is self:
+                del held[index]
+                break
+        _HELD.set(tuple(held))
+        self._inner.release()
+
+    def locked(self) -> bool:
+        """Whether the underlying lock is currently held (by anyone)."""
+        return bool(self._inner.locked())
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+    def is_held_by_current_thread(self) -> bool:
+        """Whether this exact instance is in the current held stack."""
+        return any(lock is self for lock in _HELD.get())
+
+    def __repr__(self) -> str:
+        return f"TrackedLock({self.label!r}, locked={self.locked()})"
+
+    def __reduce__(self) -> Any:
+        raise TypeError(
+            f"TrackedLock {self.label!r} cannot be pickled — a lock "
+            f"reached a process boundary (see LINT012)"
+        )
+
+
+def guarded_fields_of(cls: Type[Any]) -> Dict[str, str]:
+    """``#: guarded-by:`` declarations of *cls*, parsed from its source.
+
+    Reuses the static analyzer's declaration parser so the runtime
+    detector and LINT010 can never disagree about the grammar.
+    """
+    import inspect
+
+    from .model import parse_module
+
+    try:
+        module = inspect.getmodule(cls)
+        if module is None:
+            return {}
+        source = inspect.getsource(module)
+    except (OSError, TypeError):
+        return {}
+    info = parse_module(source, getattr(module, "__file__", "<module>") or "<module>")
+    cls_info = info.classes.get(cls.__name__)
+    return dict(cls_info.guarded) if cls_info is not None else {}
+
+
+_WATCHED_CACHE: Dict[Type[Any], Type[Any]] = {}
+
+
+def _watched_class(cls: Type[Any], guarded: Dict[str, str]) -> Type[Any]:
+    """A dynamic subclass recording unguarded access to guarded fields."""
+    cached = _WATCHED_CACHE.get(cls)
+    if cached is not None:
+        return cached
+    guard_map = dict(guarded)
+
+    def _check(self: Any, name: str, action: str) -> None:
+        lock_name = guard_map.get(name)
+        if lock_name is None:
+            return
+        lock = object.__getattribute__(self, "__dict__").get(lock_name)
+        if isinstance(lock, TrackedLock) and not lock.is_held_by_current_thread():
+            lock.registry.record_violation(
+                f"{cls.__name__}.{name} {action} without holding "
+                f"{cls.__name__}.{lock_name}"
+            )
+
+    class Watched(cls):  # type: ignore[valid-type, misc]
+        def __getattribute__(self, name: str) -> Any:
+            if name in guard_map:
+                _check(self, name, "read")
+            return super().__getattribute__(name)
+
+        def __setattr__(self, name: str, value: Any) -> None:
+            if name in guard_map:
+                _check(self, name, "written")
+            super().__setattr__(name, value)
+
+    Watched.__name__ = cls.__name__
+    Watched.__qualname__ = cls.__qualname__
+    _WATCHED_CACHE[cls] = Watched
+    return Watched
+
+
+_LOCK_TYPES = (type(threading.Lock()), type(threading.RLock()))
+
+
+def instrument(
+    obj: Any, registry: Optional[LockOrderRegistry] = None
+) -> Any:
+    """Instrument one instance in place; returns the same object.
+
+    * every plain-lock attribute becomes a :class:`TrackedLock` whose
+      label is ``ClassName.attr`` (order edges aggregate per class);
+    * if the class declares ``#: guarded-by:`` fields, the instance is
+      re-classed to a watching subclass that records unguarded access.
+
+    Safe to call twice (idempotent); silently does nothing for classes
+    without locks.  Must be applied *after* ``__init__`` ran — fields
+    written during construction are unpublished and exempt, matching
+    LINT010.
+    """
+    cls: Type[Any] = type(obj)
+    if cls in _WATCHED_CACHE.values():
+        base = cls.__bases__[0]
+    else:
+        base = cls
+    reg = registry if registry is not None else GLOBAL_REGISTRY
+    guarded = guarded_fields_of(base)
+    instance_dict = getattr(obj, "__dict__", None)
+    if instance_dict is None:
+        return obj
+    wrapped_any = False
+    for name, value in list(instance_dict.items()):
+        if isinstance(value, _LOCK_TYPES):
+            instance_dict[name] = TrackedLock(
+                f"{base.__name__}.{name}", reg, inner=value
+            )
+            wrapped_any = True
+    if guarded and (wrapped_any or any(
+        isinstance(v, TrackedLock) for v in instance_dict.values()
+    )):
+        if type(obj) is base:
+            try:
+                obj.__class__ = _watched_class(base, guarded)
+            except TypeError:
+                pass  # __slots__/extension classes: skip field watching
+    return obj

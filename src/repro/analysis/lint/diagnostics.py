@@ -12,7 +12,7 @@ import enum
 import io
 import tokenize
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List
+from typing import Dict, FrozenSet, List, Tuple
 
 
 class Severity(enum.Enum):
@@ -92,7 +92,7 @@ def is_suppressed(
     return DISABLE_ALL in codes or diagnostic.code in codes
 
 
-def sort_key(diagnostic: Diagnostic) -> tuple:
+def sort_key(diagnostic: Diagnostic) -> Tuple[str, int, int, str]:
     """Stable report order: path, then location, then code."""
     return (diagnostic.path, diagnostic.line, diagnostic.column, diagnostic.code)
 

@@ -33,7 +33,7 @@ from __future__ import annotations
 import ast
 import re
 from pathlib import PurePath
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from .diagnostics import Diagnostic, Severity
 
@@ -191,7 +191,9 @@ class _SetIterationVisitor(ast.NodeVisitor):
         return False
 
     # -- scope management ----------------------------------------------
-    def _visit_function(self, node) -> None:
+    def _visit_function(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+    ) -> None:
         scope = _Scope()
         args = list(node.args.posonlyargs) + list(node.args.args) + list(
             node.args.kwonlyargs
@@ -250,7 +252,11 @@ class _SetIterationVisitor(ast.NodeVisitor):
             self._flag(node.iter, "for loop")
         self.generic_visit(node)
 
-    def _visit_ordered_comprehension(self, node, context: str) -> None:
+    def _visit_ordered_comprehension(
+        self,
+        node: Union[ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp],
+        context: str,
+    ) -> None:
         if id(node) not in self._exempt:
             for generator in node.generators:
                 if self._is_setish(generator.iter):

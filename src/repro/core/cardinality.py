@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..rdf.dataset import Dataset
 from ..rdf.terms import Variable
@@ -71,7 +71,7 @@ class StatisticsCatalog:
                 for position, term in enumerate(tp.terms())
                 if isinstance(term, Variable)
             ]
-            values: Dict[Variable, set] = {v: set() for v, _ in slots}
+            values: Dict[Variable, Set[object]] = {v: set() for v, _ in slots}
             count = 0
             for t in dataset.graph.match(tp.subject, tp.predicate, tp.object):
                 count += 1

@@ -66,7 +66,7 @@ def enumerate_cbds(
         return
     components = join_graph.connected_components(bits, exclude=variable)
     component_of: Dict[int, int] = {}
-    for component in components:
+    for component in components:  # lint: disable=LINT014 bounded by bitset width (≤64 components × ≤64 bits), no data-sized work
         for index in bs.iter_bits(component):
             component_of[index] = component
     anchor = bs.lowest_bit(ntp)

@@ -150,7 +150,8 @@ class CancellationToken:
 
     def __init__(self) -> None:
         self._event = threading.Event()
-        self._reason = ""
+        self._lock = threading.Lock()
+        self._reason = ""  #: guarded-by: _lock
 
     @property
     def cancelled(self) -> bool:
@@ -160,16 +161,23 @@ class CancellationToken:
     @property
     def reason(self) -> str:
         """The first cancel's reason (empty while not cancelled)."""
-        return self._reason
+        with self._lock:
+            return self._reason
 
     def cancel(self, reason: str = "cancelled") -> None:
-        """Request cancellation (idempotent; the first reason sticks)."""
-        if not self._event.is_set():
-            self._reason = reason
-            self._event.set()
+        """Request cancellation (idempotent; the first reason sticks).
+
+        The lock makes first-cancel-wins atomic: without it two
+        concurrent cancels can both pass the not-set check and the
+        *losing* reason can stick while the event fires.
+        """
+        with self._lock:
+            if not self._event.is_set():
+                self._reason = reason
+                self._event.set()
 
     def __repr__(self) -> str:
-        state = f"cancelled: {self._reason!r}" if self.cancelled else "active"
+        state = f"cancelled: {self.reason!r}" if self.cancelled else "active"
         return f"CancellationToken({state})"
 
 

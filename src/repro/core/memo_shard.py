@@ -322,10 +322,14 @@ class _ShardDriver:
             deadline_remaining,
             self.tracer is not None,
         )
-        # solved state
+        # solved state + accounting: deliberately unlocked.  Every
+        # field below is touched only by the driver thread — workers are
+        # *processes* and all cross-process traffic flows through the
+        # mp queues, so there is no shared-memory access to guard.  If a
+        # future server shares one driver across threads, declare these
+        # `#: guarded-by:` and add the lock (concurrency audit, PR 8).
         self.costs: Dict[int, float] = {}
         self.choices: Dict[int, Tuple[Any, ...]] = {}
-        # accounting
         self.solved_by_worker = [0] * jobs
         self.busy_seconds = [0.0] * jobs
         self.per_worker_steals = [0] * jobs

@@ -152,7 +152,14 @@ _SLICED = {"td-cmd": _SlicedTopDown, "td-cmdp": _SlicedPrunedTopDown}
 _SERIAL = {"td-cmd": TopDownEnumerator, "td-cmdp": PrunedTopDownEnumerator}
 
 
-def _intra_query_worker(payload: tuple) -> Dict[str, Any]:
+#: Version stamp on every worker outcome dict.  Bump whenever the
+#: outcome schema changes shape or meaning; the merge refuses mixed
+#: versions instead of silently skewing counters (a real hazard when a
+#: stale pool process built from an older module survives a reload).
+_PAYLOAD_SCHEMA_VERSION = 1
+
+
+def _intra_query_worker(payload: Tuple[Any, ...]) -> Dict[str, Any]:
     """Run one root-slice sub-search (executed inside a pool process).
 
     When the driver traces, the worker builds a private
@@ -214,6 +221,7 @@ def _intra_query_worker(payload: tuple) -> Dict[str, Any]:
     # an anytime deadline can expire before the root's record exists
     root_record = enumerator.subquery_records.pop(full, SubqueryRecord())
     return {
+        "schema": _PAYLOAD_SCHEMA_VERSION,
         "plan": result.plan,
         "cost": result.plan.cost,
         "records": enumerator.subquery_records,
@@ -247,6 +255,14 @@ def _merge_worker_stats(
     fixed platform cost, and charging it to the search systematically
     understated small-query speedups.
     """
+    versions = {o.get("schema") for o in outcomes}
+    if versions - {_PAYLOAD_SCHEMA_VERSION}:
+        raise RuntimeError(
+            f"worker outcome schema mismatch: driver expects version "
+            f"{_PAYLOAD_SCHEMA_VERSION}, workers sent {sorted(versions, key=str)} "
+            f"— refusing to merge (counters would silently skew); restart "
+            f"the pool so every worker runs the same code"
+        )
     records: Dict[int, SubqueryRecord] = {}
     for outcome in outcomes:
         for bits, record in outcome["records"].items():
@@ -516,7 +532,7 @@ def _normalize_request(
     )
 
 
-def _batch_worker(payload: tuple) -> OptimizationResult:
+def _batch_worker(payload: Tuple[Any, ...]) -> OptimizationResult:
     """Optimize one query serially (executed inside a pool process)."""
     query, statistics, algorithm, partitioning, parameters, timeout_seconds = payload
     return optimize(

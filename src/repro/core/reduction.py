@@ -65,8 +65,28 @@ class SuperPattern:
 EXPANSION_LIMIT = 12
 
 
+
+def _poll_reduction(budget: Optional[QueryBudget], phase: str) -> None:
+    """Budget poll for the reduction phase.
+
+    Cancellation always aborts.  Deadline expiry aborts only *hard*
+    (non-anytime) budgets: an anytime query must reach the inner
+    enumerator, whose expiry handling degrades to the greedy fallback
+    instead of raising — aborting here would break the anytime
+    contract (reduction itself is bounded preprocessing).
+    """
+    if budget is None:
+        return
+    budget.check_cancelled(phase)
+    if not budget.anytime:
+        budget.check_deadline(phase)
+
+
 def candidate_local_queries(
-    join_graph: JoinGraph, local_index: LocalQueryIndex, limit: int = EXPANSION_LIMIT
+    join_graph: JoinGraph,
+    local_index: LocalQueryIndex,
+    limit: int = EXPANSION_LIMIT,
+    budget: Optional[QueryBudget] = None,
 ) -> List[int]:
     """The set C of the JGR greedy: local queries of Q, as bitsets.
 
@@ -76,6 +96,7 @@ def candidate_local_queries(
     """
     candidates: Set[int] = set()
     for mlq in local_index.maximal_local_queries:
+        _poll_reduction(budget, "jgr.candidates")
         if bs.popcount(mlq) <= limit:
             candidates.update(connected_subqueries(join_graph, mlq))
         else:
@@ -89,6 +110,7 @@ def greedy_join_graph_reduction(
     join_graph: JoinGraph,
     local_index: LocalQueryIndex,
     estimator: CardinalityEstimator,
+    budget: Optional[QueryBudget] = None,
 ) -> List[int]:
     """Solve JGR greedily; return disjoint connected local parts.
 
@@ -97,11 +119,14 @@ def greedy_join_graph_reduction(
     then made disjoint in pick order and each part re-split into
     connected components (subqueries of local queries stay local).
     """
-    candidates = candidate_local_queries(join_graph, local_index)
+    candidates = candidate_local_queries(join_graph, local_index, budget=budget)
     weights = {c: estimator.cardinality(c) for c in candidates}
     uncovered = join_graph.full
     picked: List[int] = []
     while uncovered:
+        # one poll per cover round keeps the greedy cancellable even
+        # when the candidate pool is large (JGR runs pre-enumeration)
+        _poll_reduction(budget, "jgr.reduce")
         best = None
         # (ratio, bitset) lexicographic: cheapest ratio wins, exact
         # ratio ties break toward the smaller bitset (deterministic)
@@ -141,6 +166,7 @@ def build_reduced_problem(
     join_graph: JoinGraph,
     estimator: CardinalityEstimator,
     parts: List[int],
+    budget: Optional[QueryBudget] = None,
 ) -> Tuple[JoinGraph, CardinalityEstimator]:
     """Construct the reduced join graph J'(Q) and its estimator.
 
@@ -156,6 +182,7 @@ def build_reduced_problem(
     reduced_graph = JoinGraph(reduced_query)
     entries: List[PatternStatistics] = []
     for part in parts:
+        _poll_reduction(budget, "jgr.build_reduced")
         card = estimator.cardinality(part)
         bindings = {
             v: estimator.bindings(part, v)
@@ -190,7 +217,10 @@ class ReductionOptimizer:
         started = time.perf_counter()
         with obs.span("jgr.reduce", patterns=self.join_graph.size) as sp:
             parts = greedy_join_graph_reduction(
-                self.join_graph, self.local_index, self.builder.estimator
+                self.join_graph,
+                self.local_index,
+                self.builder.estimator,
+                budget=self.budget,
             )
             sp.set(parts=len(parts))
         if len(parts) == 1:
@@ -205,7 +235,7 @@ class ReductionOptimizer:
                 elapsed_seconds=time.perf_counter() - started,
             )
         reduced_graph, reduced_estimator = build_reduced_problem(
-            self.join_graph, self.builder.estimator, parts
+            self.join_graph, self.builder.estimator, parts, budget=self.budget
         )
         reduced_builder = PlanBuilder(
             reduced_graph, reduced_estimator, self.builder.parameters

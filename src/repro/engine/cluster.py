@@ -50,6 +50,11 @@ class Cluster:
                 f"{partitioning.method_name!r} produced no node graphs"
             )
         self._dictionary = dictionary
+        # liveness/fragment state below is unlocked by design: a Cluster
+        # is owned by one executor thread (chaos suites mutate liveness
+        # between queries, never during one).  A multi-threaded server
+        # must either confine each Cluster to a session thread or add a
+        # lock + `#: guarded-by:` declarations (concurrency audit, PR 8).
         #: lazily encoded per-worker fragments; invalidated per worker
         #: by :meth:`fail_worker` (the re-encode is the replica re-scan)
         self._fragments: Dict[int, EncodedGraph] = {}

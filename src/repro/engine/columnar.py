@@ -177,7 +177,7 @@ def scan_pattern_encoded(
                 first_source[term] = position
     emit = _row_getter([first_source[v] for v in relation.variables])
     rows = relation.rows
-    for t in fragment.scan(subject_id, None, object_id):
+    for t in fragment.scan(subject_id, None, object_id):  # lint: disable=LINT014 per-scan row loop; the executor polls at the operator boundary
         if checks and any(t[a] != t[b] for a, b in checks):
             continue
         rows.add(emit(t))

@@ -31,6 +31,7 @@ abort.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional, Set, Tuple, TYPE_CHECKING
@@ -99,40 +100,57 @@ class CircuitBreaker:
             )
         self.threshold = threshold
         self.window = window
-        self._recent: Deque[int] = deque(maxlen=window)
-        self._open: Set[int] = set()
-        #: cumulative breaker openings (survives :meth:`reset`)
+        self._lock = threading.Lock()
+        self._recent: Deque[int] = deque(maxlen=window)  #: guarded-by: _lock
+        self._open: Set[int] = set()  #: guarded-by: _lock
+        #: cumulative breaker openings (survives :meth:`reset`); written
+        #: only under the lock, read lock-free (int reads are atomic)
         self.trips = 0
 
     @property
     def open_workers(self) -> List[int]:
         """Workers currently quarantined, ascending."""
-        return sorted(self._open)
+        with self._lock:
+            return sorted(self._open)
 
     def state(self, worker: int) -> str:
         """``"open"`` (quarantined) or ``"closed"`` for *worker*."""
-        return "open" if worker in self._open else "closed"
+        with self._lock:
+            return "open" if worker in self._open else "closed"
 
     def record_fault(self, worker: int) -> bool:
-        """Record one fault against *worker*; True if this trips it."""
-        if worker in self._open:
+        """Record one fault against *worker*; True if this trips it.
+
+        Window append + count + trip happen under one lock acquisition
+        so two threads recording the same worker's faults cannot both
+        observe a below-threshold count (lost trip) or double-count the
+        cumulative ``trips``.
+        """
+        with self._lock:
+            if worker in self._open:
+                return False
+            self._recent.append(worker)
+            if sum(1 for w in self._recent if w == worker) >= self.threshold:
+                self._trip_locked(worker)
+                return True
             return False
-        self._recent.append(worker)
-        if sum(1 for w in self._recent if w == worker) >= self.threshold:
-            self.trip(worker)
-            return True
-        return False
 
     def trip(self, worker: int) -> None:
         """Open *worker*'s breaker (idempotent)."""
+        with self._lock:
+            self._trip_locked(worker)
+
+    def _trip_locked(self, worker: int) -> None:
+        # caller holds self._lock (the analyzer proves every call site)
         if worker not in self._open:
             self._open.add(worker)
             self.trips += 1
 
     def reset(self) -> None:
         """Close every breaker and forget the event window."""
-        self._recent.clear()
-        self._open.clear()
+        with self._lock:
+            self._recent.clear()
+            self._open.clear()
 
     def __repr__(self) -> str:
         return (

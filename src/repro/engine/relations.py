@@ -119,7 +119,7 @@ def scan_pattern(graph: RDFGraph, pattern: TriplePattern) -> Relation:
     )
     object_ = pattern.object if not isinstance(pattern.object, Variable) else None
     rows = relation.rows
-    for triple in graph.match(subject, predicate, object_):
+    for triple in graph.match(subject, predicate, object_):  # lint: disable=LINT014 per-scan row loop; the executor polls at the operator boundary
         t = triple.terms()
         if checks and any(t[a] != t[b] for a, b in checks):
             continue

@@ -90,9 +90,9 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._counters: Dict[str, Counter] = {}
-        self._gauges: Dict[str, Gauge] = {}
-        self._histograms: Dict[str, Histogram] = {}
+        self._counters: Dict[str, Counter] = {}  #: guarded-by: _lock
+        self._gauges: Dict[str, Gauge] = {}  #: guarded-by: _lock
+        self._histograms: Dict[str, Histogram] = {}  #: guarded-by: _lock
 
     # -- accessors ------------------------------------------------------
     def counter(self, name: str) -> Counter:

@@ -205,8 +205,8 @@ class Tracer:
         self._clock = clock
         self.epoch = clock()
         self._lock = threading.Lock()
-        self._spans: List[Span] = []
-        self._next_id = 1
+        self._spans: List[Span] = []  #: guarded-by: _lock
+        self._next_id = 1  #: guarded-by: _lock
         self._stacks = threading.local()
         self.metrics = MetricsRegistry()
 

@@ -1,0 +1,634 @@
+"""Tests for the concurrency analyzer (analysis.concurrency).
+
+Each rule (LINT010–LINT014) is exercised on seeded bad source handed to
+``analyze_files`` under pretend paths — positive, negative, and
+suppression cases — plus the guard-comment grammar, the real-tree-clean
+gate (every true positive was fixed in this PR), the CLI driver, and
+the dynamic lock-order race detector (ABBA regression, guarded-field
+watching, pickle refusal).
+"""
+
+import pickle
+import subprocess
+import sys
+import textwrap
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.concurrency import analyze_files, check_concurrency_paths
+from repro.analysis.concurrency.model import parse_guard_comments
+from repro.analysis.concurrency.runtime import (
+    LockOrderRegistry,
+    TrackedLock,
+    detector_enabled,
+    instrument,
+)
+
+#: when the suite runs with the global detector on (conftest), Tracer
+#: instances are already instrumented against the global registry — the
+#: local-registry assertions below would observe the wrong one
+needs_uninstrumented = pytest.mark.skipif(
+    detector_enabled(), reason="global lock detector owns instrumentation"
+)
+
+SRC_REPRO = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: pretend paths — LINT014 scoping is path-based (hot modules only)
+HOT = "src/repro/core/enumeration.py"
+COLD = "src/repro/core/cost.py"
+ENGINE_HOT = "src/repro/engine/executor.py"
+
+
+def diags(*files, select=None):
+    return analyze_files(
+        [(path, textwrap.dedent(source)) for path, source in files], select=select
+    )
+
+
+def codes(*files, select=None):
+    return [d.code for d in diags(*files, select=select)]
+
+
+# ----------------------------------------------------------------------
+# LINT010 — guarded-by lock discipline
+# ----------------------------------------------------------------------
+
+GUARDED_CLASS = """
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0  #: guarded-by: _lock
+
+    {body}
+"""
+
+
+def guarded(body):
+    return GUARDED_CLASS.format(body=textwrap.dedent(body).replace("\n", "\n    "))
+
+
+class TestLint010GuardedBy:
+    def test_unlocked_write_flagged(self):
+        src = guarded(
+            """
+            def bump(self):
+                self._value += 1
+            """
+        )
+        found = diags((COLD, src), select={"LINT010"})
+        assert [f.code for f in found] == ["LINT010"]
+        assert "Counter._value" in found[0].message
+        assert "_lock" in found[0].message
+
+    def test_unlocked_read_flagged(self):
+        src = guarded(
+            """
+            def peek(self):
+                return self._value
+            """
+        )
+        assert codes((COLD, src), select={"LINT010"}) == ["LINT010"]
+
+    def test_locked_access_clean(self):
+        src = guarded(
+            """
+            def bump(self):
+                with self._lock:
+                    self._value += 1
+            """
+        )
+        assert codes((COLD, src), select={"LINT010"}) == []
+
+    def test_init_is_exempt(self):
+        # the constructor's writes predate publication — GUARDED_CLASS
+        # itself assigns self._value unlocked in __init__
+        src = guarded(
+            """
+            def noop(self):
+                pass
+            """
+        )
+        assert codes((COLD, src), select={"LINT010"}) == []
+
+    def test_private_helper_inherits_lock_from_call_sites(self):
+        # the classic _locked-helper pattern: every intra-class call
+        # site holds the lock, so the helper is analyzed as holding it
+        src = guarded(
+            """
+            def bump(self):
+                with self._lock:
+                    self._bump_locked()
+
+            def _bump_locked(self):
+                self._value += 1
+            """
+        )
+        assert codes((COLD, src), select={"LINT010"}) == []
+
+    def test_public_helper_never_inherits_the_lock(self):
+        # public methods are externally callable: holding the lock at
+        # the one internal call site proves nothing
+        src = guarded(
+            """
+            def bump(self):
+                with self._lock:
+                    self.bump_unlocked()
+
+            def bump_unlocked(self):
+                self._value += 1
+            """
+        )
+        assert codes((COLD, src), select={"LINT010"}) == ["LINT010"]
+
+    def test_suppression_with_justification(self):
+        src = guarded(
+            """
+            def peek(self):
+                return self._value  # lint: disable=LINT010 racy read is advisory-only
+            """
+        )
+        assert codes((COLD, src), select={"LINT010"}) == []
+
+
+# ----------------------------------------------------------------------
+# LINT011 — blocking call while holding a lock
+# ----------------------------------------------------------------------
+
+
+class TestLint011BlockingUnderLock:
+    def test_future_result_under_lock_flagged(self):
+        src = guarded(
+            """
+            def wait_for(self, future):
+                with self._lock:
+                    return future.result()
+            """
+        )
+        found = diags((COLD, src), select={"LINT011"})
+        assert [f.code for f in found] == ["LINT011"]
+        assert "future.result" in found[0].message
+
+    def test_queue_get_under_module_level_lock_flagged(self):
+        src = """
+        import threading
+
+        state_lock = threading.Lock()
+
+        def drain(task_queue):
+            with state_lock:
+                return task_queue.get()
+        """
+        assert codes((COLD, src), select={"LINT011"}) == ["LINT011"]
+
+    def test_result_outside_lock_clean(self):
+        src = guarded(
+            """
+            def wait_for(self, future):
+                with self._lock:
+                    pending = True
+                return future.result()
+            """
+        )
+        assert codes((COLD, src), select={"LINT011"}) == []
+
+    def test_str_join_is_not_a_thread_join(self):
+        src = guarded(
+            """
+            def render(self, parts):
+                with self._lock:
+                    return ", ".join(parts)
+            """
+        )
+        assert codes((COLD, src), select={"LINT011"}) == []
+
+    def test_suppression_with_justification(self):
+        src = guarded(
+            """
+            def wait_for(self, future):
+                with self._lock:
+                    return future.result()  # lint: disable=LINT011 future completes in-process, bounded
+            """
+        )
+        assert codes((COLD, src), select={"LINT011"}) == []
+
+
+# ----------------------------------------------------------------------
+# LINT012 — unpicklable values reaching a process boundary
+# ----------------------------------------------------------------------
+
+
+class TestLint012PickleSafety:
+    def test_lambda_submitted_to_pool_flagged(self):
+        src = """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def run():
+            with ProcessPoolExecutor() as pool:
+                return pool.submit(lambda: 1).result()
+        """
+        found = diags((COLD, src), select={"LINT012"})
+        assert [f.code for f in found] == ["LINT012"]
+        assert "lambda" in found[0].message
+
+    def test_lock_argument_flagged_through_assignment(self):
+        src = """
+        import threading
+        from concurrent.futures import ProcessPoolExecutor
+
+        def run(work):
+            guard = threading.Lock()
+            with ProcessPoolExecutor() as pool:
+                return pool.submit(work, guard)
+        """
+        assert codes((COLD, src), select={"LINT012"}) == ["LINT012"]
+
+    def test_process_target_lambda_flagged(self):
+        src = """
+        from multiprocessing import Process
+
+        def spawn():
+            worker = Process(target=lambda: 1)
+            worker.start()
+        """
+        assert codes((COLD, src), select={"LINT012"}) == ["LINT012"]
+
+    def test_plain_picklable_args_clean(self):
+        src = """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def run(work):
+            with ProcessPoolExecutor() as pool:
+                return pool.submit(work, 42, "query")
+        """
+        assert codes((COLD, src), select={"LINT012"}) == []
+
+    def test_suppression_with_justification(self):
+        src = """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def run():
+            with ProcessPoolExecutor() as pool:
+                return pool.submit(lambda: 1)  # lint: disable=LINT012 fork start method shares the closure
+        """
+        assert codes((COLD, src), select={"LINT012"}) == []
+
+
+# ----------------------------------------------------------------------
+# LINT013 — mutated module globals read in worker entry code
+# ----------------------------------------------------------------------
+
+
+class TestLint013WorkerGlobals:
+    def test_mutated_global_read_in_entry_flagged(self):
+        src = """
+        from concurrent.futures import ProcessPoolExecutor
+
+        CACHE = {}
+
+        def configure(key, value):
+            CACHE[key] = value
+
+        def work(item):
+            return CACHE.get(item, 0)
+
+        def driver(items):
+            with ProcessPoolExecutor() as pool:
+                return list(pool.map(work, items))
+        """
+        found = diags((COLD, src), select={"LINT013"})
+        assert [f.code for f in found] == ["LINT013"]
+        assert "CACHE" in found[0].message
+
+    def test_read_through_same_module_callee_flagged(self):
+        src = """
+        from concurrent.futures import ProcessPoolExecutor
+
+        CACHE = {}
+
+        def configure(key, value):
+            CACHE[key] = value
+
+        def lookup(item):
+            return CACHE.get(item, 0)
+
+        def work(item):
+            return lookup(item)
+
+        def driver(items):
+            with ProcessPoolExecutor() as pool:
+                return list(pool.map(work, items))
+        """
+        assert codes((COLD, src), select={"LINT013"}) == ["LINT013"]
+
+    def test_unmutated_global_clean(self):
+        src = """
+        from concurrent.futures import ProcessPoolExecutor
+
+        LIMITS = {"depth": 4}
+
+        def work(item):
+            return LIMITS.get("depth")
+
+        def driver(items):
+            with ProcessPoolExecutor() as pool:
+                return list(pool.map(work, items))
+        """
+        assert codes((COLD, src), select={"LINT013"}) == []
+
+    def test_no_submission_site_clean(self):
+        src = """
+        CACHE = {}
+
+        def configure(key, value):
+            CACHE[key] = value
+
+        def work(item):
+            return CACHE.get(item, 0)
+        """
+        assert codes((COLD, src), select={"LINT013"}) == []
+
+
+# ----------------------------------------------------------------------
+# LINT014 — cancellation-poll reachability
+# ----------------------------------------------------------------------
+
+ENTRY = """
+class Optimizer:
+    def __init__(self, budget):
+        self.budget = budget
+
+    def optimize(self):
+        return search(self.budget)
+
+
+"""
+
+
+class TestLint014CancellationPolls:
+    def test_unbounded_loop_without_poll_flagged(self):
+        src = ENTRY + textwrap.dedent(
+            """
+            def search(budget):
+                frontier = [1]
+                while frontier:
+                    item = frontier.pop()
+                    expand(frontier, item)
+                return frontier
+            """
+        )
+        found = diags((HOT, src), select={"LINT014"})
+        assert [f.code for f in found] == ["LINT014"]
+        assert "never polls the budget" in found[0].message
+
+    def test_direct_poll_is_clean(self):
+        src = ENTRY + textwrap.dedent(
+            """
+            def search(budget):
+                frontier = [1]
+                while frontier:
+                    budget.check_cancelled("search")
+                    item = frontier.pop()
+                    expand(frontier, item)
+                return frontier
+            """
+        )
+        assert codes((HOT, src), select={"LINT014"}) == []
+
+    def test_poll_through_callee_is_clean(self):
+        src = ENTRY + textwrap.dedent(
+            """
+            def tick(budget):
+                budget.check_deadline("search")
+
+            def search(budget):
+                frontier = [1]
+                while frontier:
+                    tick(budget)
+                    item = frontier.pop()
+                    expand(frontier, item)
+                return frontier
+            """
+        )
+        assert codes((HOT, src), select={"LINT014"}) == []
+
+    def test_unreachable_loop_is_not_flagged(self):
+        # no Optimizer.optimize / Executor.execute in the project: the
+        # loop is not on a governed path
+        src = """
+        def search(budget):
+            frontier = [1]
+            while frontier:
+                item = frontier.pop()
+                expand(frontier, item)
+            return frontier
+        """
+        assert codes((HOT, src), select={"LINT014"}) == []
+
+    def test_cold_module_is_not_flagged(self):
+        src = ENTRY + textwrap.dedent(
+            """
+            def search(budget):
+                frontier = [1]
+                while frontier:
+                    item = frontier.pop()
+                    expand(frontier, item)
+                return frontier
+            """
+        )
+        assert codes((COLD, src), select={"LINT014"}) == []
+
+    def test_generator_loop_is_exempt(self):
+        # control returns to the consumer every iteration: the
+        # consuming loop carries the polling obligation
+        src = ENTRY + textwrap.dedent(
+            """
+            def search(budget):
+                for plan in stream(budget):
+                    budget.check_cancelled("drain")
+                return None
+
+            def stream(budget):
+                while True:
+                    yield probe()
+            """
+        )
+        assert codes((HOT, src), select={"LINT014"}) == []
+
+    def test_small_bounded_for_is_exempt(self):
+        # iterates an in-memory name, tiny body, no calls that loop:
+        # per-iteration work is O(1)-ish, no poll required
+        src = ENTRY + textwrap.dedent(
+            """
+            def search(budget):
+                total = 0
+                parts = budget
+                for item in parts:
+                    total = total + item
+                return total
+            """
+        )
+        assert codes((HOT, src), select={"LINT014"}) == []
+
+    def test_suppression_with_justification(self):
+        src = ENTRY + textwrap.dedent(
+            """
+            def search(budget):
+                frontier = [1]
+                while frontier:  # lint: disable=LINT014 bounded by bitset width
+                    item = frontier.pop()
+                    expand(frontier, item)
+                return frontier
+            """
+        )
+        assert codes((HOT, src), select={"LINT014"}) == []
+
+
+# ----------------------------------------------------------------------
+# shared machinery
+# ----------------------------------------------------------------------
+
+
+class TestGuardCommentGrammar:
+    def test_trailing_and_standalone_declarations(self):
+        source = (
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.a = 0  #: guarded-by: _lock\n"
+            "        #: guarded-by: _mutex\n"
+            "        self.b = 1\n"
+            "        self.c = 2\n"
+        )
+        guards = parse_guard_comments(source)
+        assert guards[3] == "_lock"  # trailing: declares its own line
+        assert guards[5] == "_mutex"  # standalone: declares the next line
+        assert 6 not in guards
+
+    def test_syntax_error_is_one_finding(self):
+        found = diags((COLD, "def broken(:\n"))
+        assert [f.code for f in found] == ["LINT000"]
+
+
+class TestRealTree:
+    def test_src_repro_is_clean_and_fast(self):
+        started = time.perf_counter()
+        findings = check_concurrency_paths([SRC_REPRO])
+        elapsed = time.perf_counter() - started
+        assert findings == [], "\n".join(f.render() for f in findings)
+        assert elapsed < 10.0, f"analyzer took {elapsed:.1f}s over src/repro"
+
+    def test_cli_driver(self, tmp_path):
+        clean = subprocess.run(
+            [sys.executable, "-m", "repro", "check-concurrency", "src/repro"],
+            capture_output=True, text=True,
+        )
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+        assert "clean" in clean.stdout
+        bad = tmp_path / "core" / "enumeration.py"
+        bad.parent.mkdir()
+        bad.write_text(
+            textwrap.dedent(ENTRY)
+            + "def search(budget):\n"
+            + "    while True:\n"
+            + "        step()\n",
+            encoding="utf-8",
+        )
+        dirty = subprocess.run(
+            [sys.executable, "-m", "repro", "check-concurrency", str(tmp_path)],
+            capture_output=True, text=True,
+        )
+        assert dirty.returncode == 1
+        assert "LINT014" in dirty.stdout
+
+
+# ----------------------------------------------------------------------
+# dynamic lock-order race detector
+# ----------------------------------------------------------------------
+
+
+class TestLockOrderDetector:
+    def test_abba_cycle_detected(self):
+        # the canonical deadlock: thread 1 takes A then B, thread 2
+        # takes B then A — the order graph must contain the A/B cycle
+        registry = LockOrderRegistry()
+        lock_a = TrackedLock("A", registry)
+        lock_b = TrackedLock("B", registry)
+
+        def a_then_b():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        def b_then_a():
+            with lock_b:
+                with lock_a:
+                    pass
+
+        first = threading.Thread(target=a_then_b)
+        first.start()
+        first.join()
+        second = threading.Thread(target=b_then_a)
+        second.start()
+        second.join()
+        assert registry.cycles() == [["A", "B", "A"]]
+        with pytest.raises(AssertionError, match="lock-order cycles"):
+            registry.assert_clean()
+
+    def test_consistent_hierarchy_is_clean(self):
+        registry = LockOrderRegistry()
+        outer = TrackedLock("outer", registry)
+        inner = TrackedLock("inner", registry)
+        for _ in range(3):
+            with outer:
+                with inner:
+                    pass
+        assert registry.cycles() == []
+        registry.assert_clean()
+        assert registry.edges() == {("outer", "inner"): 3}
+
+    @needs_uninstrumented
+    def test_guarded_field_access_without_lock_recorded(self):
+        from repro.observability.spans import Tracer
+
+        registry = LockOrderRegistry()
+        tracer = instrument(Tracer(), registry)
+        # locked access is fine
+        with tracer._lock:
+            _ = tracer._spans
+        assert registry.violations == []
+        # a raw read bypassing the declared lock is a violation
+        _ = tracer._spans
+        assert any("Tracer._spans" in v for v in registry.violations)
+        with pytest.raises(AssertionError, match="without the declared lock"):
+            registry.assert_clean()
+
+    @needs_uninstrumented
+    def test_instrumented_tracer_still_works(self):
+        from repro.observability.spans import Tracer
+
+        registry = LockOrderRegistry()
+        tracer = instrument(Tracer(), registry)
+        with tracer.span("unit-test"):
+            pass
+        assert registry.cycles() == []
+
+    def test_tracked_lock_refuses_to_pickle(self):
+        registry = LockOrderRegistry()
+        lock = TrackedLock("X", registry)
+        with pytest.raises(TypeError, match="LINT012"):
+            pickle.dumps(lock)
+
+    def test_graph_artifact_payload_shape(self):
+        registry = LockOrderRegistry()
+        with TrackedLock("A", registry):
+            with TrackedLock("B", registry):
+                pass
+        payload = registry.to_payload()
+        assert payload["edges"] == [{"from": "A", "to": "B", "count": 1}]
+        assert payload["cycles"] == []
+        assert payload["violations"] == []

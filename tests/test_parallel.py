@@ -21,7 +21,7 @@ from repro.core import (
     optimize_many,
     optimize_query_parallel,
 )
-from repro.core.parallel import _merge_worker_stats
+from repro.core.parallel import _PAYLOAD_SCHEMA_VERSION, _merge_worker_stats
 from repro.core.plan_cache import PlanCache
 from repro.partitioning import HashSubjectObject, PathBMC
 from repro.sparql import parse_query
@@ -245,12 +245,29 @@ class TestMergeWorkerStats:
         from repro.core.enumeration import SubqueryRecord
 
         return {
+            "schema": _PAYLOAD_SCHEMA_VERSION,
             "records": {},
             "root_record": SubqueryRecord(),
             "memo_hits": 0,
             "subqueries": subqueries,
             "elapsed": elapsed,
         }
+
+    def test_schema_mismatch_refuses_to_merge(self):
+        """A worker built from different code must abort the merge with
+        a clear error, not silently skew the counters."""
+        outcomes = [self._outcome(0.1), self._outcome(0.1)]
+        outcomes[1]["schema"] = _PAYLOAD_SCHEMA_VERSION + 1
+        with pytest.raises(RuntimeError, match="schema mismatch"):
+            _merge_worker_stats(outcomes, root_is_local=False, wall_seconds=1.0)
+
+    def test_missing_schema_stamp_refuses_to_merge(self):
+        """Outcomes from pre-versioning workers carry no stamp at all —
+        that is also a mismatch, not a pass."""
+        outcome = self._outcome(0.1)
+        del outcome["schema"]
+        with pytest.raises(RuntimeError, match="schema mismatch"):
+            _merge_worker_stats([outcome], root_is_local=False, wall_seconds=1.0)
 
     def test_speedup_excludes_pool_startup(self):
         """2 workers busy 0.25 s each over a 2 s wall of which 1.5 s was
