@@ -7,19 +7,27 @@ Two layers:
   — scan, hash join, and distributed operators on both engines; substrate
   health checks, not a paper table.
 * **standalone sweep** (run as a script) — the 15-query benchmark sweep
-  (L1–L10, U1–U5) executed end to end on the reference and columnar
-  engines, written to ``BENCH_engine.json``:
+  (L1–L10, U1–U5) executed end to end on every registered engine
+  (reference, columnar, pipelined), written to ``BENCH_engine.json``:
 
-  - per query: wall seconds per engine, the speedup, and a bit-identical
-    check of the decoded result sets (same rows, same schemas);
+  - per query: wall seconds per engine, the columnar speedup, and a
+    bit-identical check of the decoded result sets (same rows, same
+    schemas) across all engines;
   - a fault-injection section repeating part of the sweep with a seeded
-    injector on both engines (results must still match);
-  - the aggregate speedup (Σ reference wall / Σ columnar wall).
+    injector on every engine (results must still match);
+  - the aggregate speedup (Σ reference wall / Σ columnar wall);
+  - a ``streaming`` section for the pipelined engine: per-query
+    first-row latency as a *fraction* of that query's own wall time,
+    plus a hard assertion that ``peak_buffered_rows`` stays within the
+    ``chunk_size × plan_depth`` bound.
 
-  The ``--baseline`` gate is machine-independent: it checks the *speedup
-  ratio*, requiring ``aggregate >= max(3.0, baseline_aggregate / 2)``.
-  The ratio is a property of the code (int-tuple hashing + indexed scans
-  vs. term-object hashing), not of the runner hardware.
+  The ``--baseline`` gates are machine-independent: the columnar gate
+  checks the *speedup ratio*, requiring ``aggregate >= max(3.0,
+  baseline_aggregate / 2)`` (a property of int-tuple hashing + indexed
+  scans vs. term-object hashing, not of the runner); the streaming gate
+  checks the gate query's first-row *fraction of its own wall time*
+  against ``min(0.95, max(0.5, baseline_fraction * 2))`` — again a
+  ratio of two timings on the same machine.
 
 Usage::
 
@@ -127,7 +135,7 @@ def test_encoded_hash_join_throughput(benchmark, big_dataset):
     assert len(result) > 0
 
 
-@pytest.mark.parametrize("engine", ["reference", "columnar"])
+@pytest.mark.parametrize("engine", ["reference", "columnar", "pipelined"])
 @pytest.mark.parametrize("workers", [2, 8])
 def test_distributed_execution_throughput(benchmark, big_dataset, workers, engine):
     query = parse_query(
@@ -162,9 +170,9 @@ def test_partitioning_throughput(benchmark, big_dataset):
 
 
 # ----------------------------------------------------------------------
-# standalone sweep: columnar vs reference over the 15 benchmark queries
+# standalone sweep: every registered engine over the 15 benchmark queries
 # ----------------------------------------------------------------------
-ENGINES = ("reference", "columnar")
+from repro.engine import ENGINES  # noqa: E402  (the live registry view)
 
 
 def _prepare_sweep(cluster_size: int):
@@ -202,7 +210,7 @@ def _prepare_sweep(cluster_size: int):
 
 
 def bench_sweep(cluster_size: int, repetitions: int):
-    """Time all 15 queries on both engines; verify identical results."""
+    """Time all 15 queries on every engine; verify identical results."""
     prepared = _prepare_sweep(cluster_size)
     queries = []
     totals = dict.fromkeys(ENGINES, 0.0)
@@ -218,17 +226,19 @@ def bench_sweep(cluster_size: int, repetitions: int):
                 executor.execute(plan, bq.query)
             walls[engine] = (time.perf_counter() - started) / repetitions
             totals[engine] += walls[engine]
-        reference, columnar = rows["reference"], rows["columnar"]
-        assert columnar.variables == reference.variables, bq.name
-        assert columnar.rows == reference.rows, (
-            f"{bq.name}: decoded columnar result diverged from reference"
-        )
+        reference = rows["reference"]
+        for engine in ENGINES:
+            assert rows[engine].variables == reference.variables, bq.name
+            assert rows[engine].rows == reference.rows, (
+                f"{bq.name}: decoded {engine} result diverged from reference"
+            )
         queries.append(
             {
                 "query": bq.name,
                 "rows": len(reference),
                 "reference_seconds": walls["reference"],
                 "columnar_seconds": walls["columnar"],
+                "pipelined_seconds": walls["pipelined"],
                 "speedup": (
                     walls["reference"] / walls["columnar"]
                     if walls["columnar"] > 0
@@ -242,6 +252,7 @@ def bench_sweep(cluster_size: int, repetitions: int):
         "queries": queries,
         "reference_total_seconds": totals["reference"],
         "columnar_total_seconds": totals["columnar"],
+        "pipelined_total_seconds": totals["pipelined"],
         "aggregate_speedup": (
             totals["reference"] / totals["columnar"]
             if totals["columnar"] > 0
@@ -251,10 +262,10 @@ def bench_sweep(cluster_size: int, repetitions: int):
 
 
 def bench_faulted(cluster_size: int, fault_rate: float, fault_seed: int):
-    """Re-run a slice of the sweep under fault injection on both engines.
+    """Re-run a slice of the sweep under fault injection on every engine.
 
     Fresh clusters per engine run (faults leave a cluster degraded); the
-    same injector seed drives both engines, so the fault sequences are
+    same injector seed drives every engine, so the fault sequences are
     identical and the decoded results must still match.
     """
     from repro.experiments.benchmark_queries import ordered_benchmark_queries
@@ -278,9 +289,10 @@ def bench_faulted(cluster_size: int, fault_rate: float, fault_seed: int):
             relation, metrics = executor.execute(plan, bq.query)
             rows[engine] = relation
             assert metrics.fault_injection_enabled
-        assert rows["columnar"].rows == rows["reference"].rows, (
-            f"{bq.name}: engines diverged under fault injection"
-        )
+        for engine in ENGINES:
+            assert rows[engine].rows == rows["reference"].rows, (
+                f"{bq.name}: {engine} diverged under fault injection"
+            )
         checked.append({"query": bq.name, "rows": len(rows["reference"])})
     return {
         "fault_rate": fault_rate,
@@ -290,8 +302,65 @@ def bench_faulted(cluster_size: int, fault_rate: float, fault_seed: int):
     }
 
 
+def bench_streaming(cluster_size: int, chunk_size: int = 256):
+    """Streaming metrics for the pipelined engine over the sweep.
+
+    Two properties, both machine-independent:
+
+    * ``peak_buffered_rows <= chunk_size × plan_depth(plan)`` — the
+      bounded-buffering construction; asserted per query right here;
+    * first-row latency, reported as a *fraction of the same run's
+      wall time*. The gate query is the one with the largest result
+      (the case streaming exists for); its fraction is what the
+      committed baseline gates.
+    """
+    from repro.engine import PipelinedEngine, plan_depth
+
+    prepared = _prepare_sweep(cluster_size)
+    queries = []
+    for bq, plan, executors in prepared:
+        executor = Executor(
+            executors["pipelined"].cluster,
+            engine=PipelinedEngine(chunk_size=chunk_size),
+        )
+        executor.execute(plan, bq.query)  # warm fragment/index caches
+        relation, metrics = executor.execute(plan, bq.query)
+        bound = chunk_size * plan_depth(plan)
+        assert metrics.peak_buffered_rows <= bound, (
+            f"{bq.name}: peak buffered rows {metrics.peak_buffered_rows} "
+            f"exceed the chunk_size × depth bound {bound}"
+        )
+        wall = metrics.wall_seconds
+        queries.append(
+            {
+                "query": bq.name,
+                "rows": len(relation),
+                "wall_seconds": wall,
+                "first_row_seconds": metrics.first_row_seconds,
+                "first_row_fraction": (
+                    metrics.first_row_seconds / wall if wall > 0 else 0.0
+                ),
+                "peak_buffered_rows": metrics.peak_buffered_rows,
+                "buffer_bound": bound,
+            }
+        )
+    gate = max(queries, key=lambda entry: entry["rows"])
+    return {
+        "chunk_size": chunk_size,
+        "queries": queries,
+        "buffer_bound_satisfied": True,  # the assertions above passed
+        "gate_query": gate["query"],
+        "gate_first_row_fraction": gate["first_row_fraction"],
+    }
+
+
 def check_baseline(report: dict, baseline_path: Path) -> int:
-    """Gate: aggregate speedup >= max(3.0, committed baseline / 2)."""
+    """Gates against the committed baseline (both machine-independent):
+
+    * columnar aggregate speedup >= max(3.0, baseline / 2);
+    * pipelined first-row fraction on the gate query <=
+      min(0.95, max(0.5, baseline fraction × 2)).
+    """
     baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
     base_speedup = baseline["sweep"]["aggregate_speedup"]
     current = report["sweep"]["aggregate_speedup"]
@@ -300,13 +369,32 @@ def check_baseline(report: dict, baseline_path: Path) -> int:
         f"baseline gate: columnar aggregate speedup {current:.2f}x "
         f"(baseline {base_speedup:.2f}x, floor {floor:.2f}x)"
     )
+    failed = False
     if current < floor:
         print(
             "FAIL: columnar-engine speedup regressed below the gate floor",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    base_streaming = baseline.get("streaming")
+    if base_streaming is not None:
+        fraction = report["streaming"]["gate_first_row_fraction"]
+        base_fraction = base_streaming["gate_first_row_fraction"]
+        ceiling = min(0.95, max(0.5, base_fraction * 2.0))
+        print(
+            f"streaming gate: first-row fraction "
+            f"{fraction:.3f} of wall on "
+            f"{report['streaming']['gate_query']} "
+            f"(baseline {base_fraction:.3f}, ceiling {ceiling:.3f})"
+        )
+        if fraction > ceiling:
+            print(
+                "FAIL: pipelined first-row latency regressed above the "
+                "gate ceiling",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 def main(argv=None) -> int:
@@ -351,6 +439,19 @@ def main(argv=None) -> int:
         f"faulted (rate={args.fault_rate}): "
         f"{len(report['faulted']['queries_checked'])} queries, "
         f"results identical across engines"
+    )
+    report["streaming"] = bench_streaming(args.cluster_size)
+    for entry in report["streaming"]["queries"]:
+        print(
+            f"{entry['query']:>4s}: first_row="
+            f"{entry['first_row_seconds'] * 1000:6.2f}ms "
+            f"({entry['first_row_fraction']:5.1%} of wall) "
+            f"buffered={entry['peak_buffered_rows']}/{entry['buffer_bound']}"
+        )
+    print(
+        f"streaming: buffer bound satisfied on all queries; gate query "
+        f"{report['streaming']['gate_query']} first-row fraction "
+        f"{report['streaming']['gate_first_row_fraction']:.3f}"
     )
 
     Path(args.output).write_text(

@@ -72,7 +72,7 @@ from .analysis import InvariantViolation
 from .core import QueryAborted, StatisticsCatalog
 from .core.serialize import plan_to_dot, plan_to_json
 from .core.session import OptimizeOptions, Optimizer
-from .engine import Cluster, Executor
+from .engine import Cluster, Executor, engine_specs
 from .partitioning import (
     HashSubjectObject,
     PathBMC,
@@ -270,6 +270,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             fault_injector=injector,
             retry_policy=policy,
             engine=session.options.engine,
+            limit=args.limit,
         )
         print(report.render(), file=sys.stderr)
     else:
@@ -283,7 +284,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         try:
             with session.tracing():
                 relation, metrics = executor.execute(
-                    result.plan, query, budget=budget
+                    result.plan, query, budget=budget, limit=args.limit
                 )
         except QueryAborted as abort:
             print(abort.describe(), file=sys.stderr)
@@ -291,14 +292,23 @@ def cmd_run(args: argparse.Namespace) -> int:
             return 4
         for key, value in metrics.summary().items():
             print(f"# {key}: {value}", file=sys.stderr)
+        if metrics.limit_pushdown:
+            print(
+                f"# limit-pushdown: stream stopped after {len(relation)} "
+                f"row(s)",
+                file=sys.stderr,
+            )
         if metrics.fault_injection_enabled and cluster.failed_workers:
             print(f"# failed_workers: {cluster.failed_workers}", file=sys.stderr)
     variables = list(relation.variables)
     print("\t".join(str(v) for v in variables))
-    for row in sorted(relation.rows, key=str)[: args.limit]:
+    # --limit caps execution above; the print cap below only limits
+    # terminal output when no explicit limit was requested
+    print_cap = args.limit if args.limit is not None else 20
+    for row in sorted(relation.rows, key=str)[:print_cap]:
         print("\t".join(str(term) for term in row))
-    if len(relation) > args.limit:
-        print(f"# ... {len(relation) - args.limit} more rows", file=sys.stderr)
+    if len(relation) > print_cap:
+        print(f"# ... {len(relation) - print_cap} more rows", file=sys.stderr)
     _export_trace(session, args.trace)
     return 0
 
@@ -494,8 +504,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout",
         type=float,
         default=None,
-        help="DEPRECATED alias for --deadline (optimizer-only in older "
-        "releases; now folds into the lifecycle deadline)",
+        help="DEPRECATED alias for --deadline, removed in 2.0 "
+        "(optimizer-only in older releases; now folds into the "
+        "lifecycle deadline)",
     )
     common.add_argument(
         "--deadline",
@@ -550,13 +561,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect spans + metrics and export a Chrome trace-event "
         "JSON file (Perfetto-loadable) to PATH",
     )
+    # choices and help are generated from the engine registry, so a
+    # newly registered backend shows up here without CLI edits
     common.add_argument(
         "--engine",
-        choices=("reference", "columnar"),
+        choices=tuple(spec.name for spec in engine_specs()),
         default="reference",
-        help="execution engine for plan execution: 'reference' (term "
-        "tuples) or 'columnar' (dictionary-encoded ids with indexed "
-        "scans; identical results, faster execution)",
+        help="execution engine for plan execution: "
+        + "; ".join(
+            f"'{spec.name}' ({spec.description})" for spec in engine_specs()
+        ),
     )
 
     p_opt = sub.add_parser("optimize", parents=[common], help="optimize a query file")
@@ -576,7 +590,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", parents=[common], help="optimize and execute")
     p_run.add_argument("query")
     p_run.add_argument("--data", required=True, help="N-Triples file")
-    p_run.add_argument("--limit", type=int, default=20)
+    p_run.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="cap the result at N rows: the pipelined engine pushes the "
+        "limit into the stream and stops executing early; materialized "
+        "engines truncate the final result (unset: no execution limit, "
+        "20 rows printed)",
+    )
     p_run.add_argument(
         "--explain",
         action="store_true",

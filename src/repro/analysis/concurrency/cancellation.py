@@ -50,6 +50,8 @@ HOT_SUFFIXES = (
     "engine/relations.py",
     "engine/columnar.py",
     "engine/mapreduce.py",
+    "engine/base.py",
+    "engine/pipelined.py",
 )
 
 #: calls/reads that constitute a budget poll

@@ -106,10 +106,12 @@ def optimize(
 
     Back-compat shim: builds a one-shot
     :class:`~repro.core.session.Optimizer` session from these keywords.
-    Passing session state per call (``plan_cache`` / ``jobs`` /
-    ``verify`` — the ballooning-signature path) emits a single
-    :class:`DeprecationWarning` per process pointing at the session
-    API; behaviour is unchanged either way.
+    Every deprecated-kwarg path warns (once per process per path,
+    behaviour unchanged either way): passing session state per call
+    (``plan_cache`` / ``jobs`` / ``verify`` — the ballooning-signature
+    path) points at the session API, and ``timeout_seconds`` — the
+    pre-governance alias slated for removal in 2.0 — points at
+    ``deadline_seconds``.
 
     Parameters
     ----------
@@ -126,7 +128,8 @@ def optimize(
     parameters:
         Cost-model constants (defaults to the paper's Table II).
     timeout_seconds:
-        Abort with :class:`OptimizationTimeout` past this budget.
+        DEPRECATED alias for the governance deadline (removed in 2.0);
+        aborts with :class:`OptimizationTimeout` past this budget.
     plan_cache:
         A :class:`~repro.core.plan_cache.PlanCache`; a signature hit
         short-circuits enumeration entirely, and fresh results are
@@ -145,13 +148,22 @@ def optimize(
     # imported lazily: session.py imports this module's helpers
     from .session import OptimizeOptions, Optimizer
 
-    global _shim_warned
+    global _shim_warned, _timeout_warned
     if (plan_cache is not None or jobs != 1 or verify) and not _shim_warned:
         _shim_warned = True
         warnings.warn(
             "passing session state (plan_cache/jobs/verify) to optimize() "
             "per call is deprecated; build an Optimizer session instead: "
             "Optimizer(OptimizeOptions(...)).optimize(query)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    if timeout_seconds is not None and not _timeout_warned:
+        _timeout_warned = True
+        warnings.warn(
+            "optimize(timeout_seconds=...) is deprecated and will be "
+            "removed in 2.0; use deadline_seconds (same semantics, plus "
+            "anytime=True for graceful degradation)",
             DeprecationWarning,
             stacklevel=2,
         )
@@ -162,10 +174,10 @@ def optimize(
             dataset=dataset,
             partitioning=partitioning,
             parameters=parameters,
-            # mapped straight to the governance deadline: this facade is
-            # already the compatibility layer, so its own timeout kwarg
-            # does not re-trigger the OptimizeOptions.timeout_seconds
-            # deprecation warning
+            # mapped straight to the governance deadline after the
+            # facade's own deprecation warning above (the warning names
+            # this call path; OptimizeOptions.timeout_seconds has its
+            # own, so the fold must not pass timeout_seconds through)
             deadline_seconds=timeout_seconds,
             seed=seed,
             plan_cache=plan_cache,
@@ -178,3 +190,5 @@ def optimize(
 
 #: one DeprecationWarning per process for the ballooning-signature path
 _shim_warned = False
+#: one DeprecationWarning per process for the facade's timeout alias
+_timeout_warned = False

@@ -91,9 +91,11 @@ class OptimizeOptions:
     #: collect spans + metrics for every call (``session.tracer``)
     trace: bool = False
     #: execution engine for plan execution driven from this session's
-    #: options: ``"reference"`` (term tuples, the oracle) or
-    #: ``"columnar"`` (dictionary-encoded ids with indexed scans)
-    engine: str = "reference"
+    #: options: any registered name (``"reference"`` — term tuples, the
+    #: oracle; ``"columnar"`` — dictionary-encoded ids with indexed
+    #: scans; ``"pipelined"`` — streaming chunk pipeline) or a ready
+    #: :class:`~repro.engine.base.Engine` instance
+    engine: Any = "reference"
     #: wall-clock deadline for each query's whole lifecycle (optimize,
     #: and execution when the same budget is handed to the executor)
     deadline_seconds: Optional[float] = None
@@ -114,9 +116,10 @@ class OptimizeOptions:
             if not _timeout_shim_warned:
                 _timeout_shim_warned = True
                 warnings.warn(
-                    "OptimizeOptions.timeout_seconds is deprecated; use "
-                    "deadline_seconds (same semantics, plus anytime=True "
-                    "for graceful degradation)",
+                    "OptimizeOptions.timeout_seconds is deprecated and "
+                    "will be removed in 2.0; use deadline_seconds (same "
+                    "semantics, plus anytime=True for graceful "
+                    "degradation)",
                     DeprecationWarning,
                     stacklevel=3,
                 )
@@ -189,9 +192,10 @@ class Optimizer:
                 f"unknown parallel strategy {base.parallel_strategy!r}; "
                 f"choose from {PARALLEL_STRATEGIES}"
             )
-        from ..engine.executor import ENGINES  # late: engine depends on core
+        from ..engine.base import Engine  # late: engine depends on core
+        from ..engine.executor import ENGINES  # registers all backends
 
-        if base.engine not in ENGINES:
+        if not isinstance(base.engine, Engine) and base.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {base.engine!r}; choose from {list(ENGINES)}"
             )

@@ -1,14 +1,27 @@
 """Simulated parallel execution engine (the RDF-3X + Hadoop stand-in)."""
 
+from .base import (
+    ColumnarEngine,
+    Engine,
+    EngineSpec,
+    ReferenceEngine,
+    StreamingContext,
+    engine_spec,
+    engine_specs,
+    register_engine,
+    resolve_engine,
+)
 from .cluster import Cluster
 from .columnar import (
     EncodedRelation,
     evaluate_encoded,
     hash_join_encoded,
+    iter_pattern_rows,
     multi_join_encoded,
     scan_pattern_encoded,
 )
 from .executor import ENGINES, ExecutionError, Executor, evaluate_reference
+from .pipelined import PipelinedEngine, plan_depth
 from .explain import ExplainReport, OperatorExplain, explain
 from .faults import (
     FailStop,
@@ -75,6 +88,18 @@ __all__ = [
     "hash_join",
     "multi_join",
     "ENGINES",
+    "Engine",
+    "EngineSpec",
+    "StreamingContext",
+    "ReferenceEngine",
+    "ColumnarEngine",
+    "PipelinedEngine",
+    "engine_spec",
+    "engine_specs",
+    "register_engine",
+    "resolve_engine",
+    "plan_depth",
+    "iter_pattern_rows",
     "COLUMNAR_SHUFFLE_FACTOR",
     "EncodedRelation",
     "scan_pattern_encoded",

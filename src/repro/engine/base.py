@@ -1,0 +1,270 @@
+"""The engine protocol: a formal contract for physical execution backends.
+
+Historically the executor dispatched on a hard-coded tuple
+``ENGINES = ("reference", "columnar")`` with per-method string
+branching.  This module replaces that with an explicit surface:
+
+* :class:`Engine` — the abstract protocol every backend implements:
+  how to scan a pattern on the cluster, how to multi-join co-located
+  relations, how to route a binding for repartitioning, and how to
+  materialize the final result (:meth:`Engine.decode`);
+* :class:`EngineSpec` — one registry entry per backend: the factory
+  plus the analytic properties other subsystems derive choices from
+  (the MapReduce simulator's shuffle discount, whether the backend is
+  encoded/streaming);
+* :data:`ENGINES` — a live *view* over the registry that keeps the
+  historical tuple ergonomics (``in``, ``list()``, iteration for test
+  parametrization, tuple-style ``repr`` in error messages), so nothing
+  hand-maintains the set of engine names anymore.
+
+The CLI ``--engine`` choices, ``OptimizeOptions.engine`` validation,
+:class:`~repro.engine.executor.Executor` dispatch, and
+:class:`~repro.engine.mapreduce.MapReduceSimulator` pricing all read
+this registry; adding a backend is one :func:`register_engine` call
+(see ``docs/API.md`` § "Engine protocol").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Tuple, Union
+
+from ..sparql.ast import TriplePattern
+from .columnar import (
+    EncodedRelation,
+    multi_join_encoded,
+    scan_pattern_encoded,
+)
+from .relations import Relation, multi_join, scan_pattern
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from .cluster import Cluster
+
+
+class Engine(ABC):
+    """A physical execution backend the :class:`Executor` runs plans on.
+
+    Implementations choose the row representation (term tuples,
+    dictionary ids, …) and the access paths; the executor keeps operator
+    semantics, plan shapes, and the priced cost model engine-neutral.
+    A backend with :attr:`streaming` set additionally implements
+    :meth:`run_streaming` and takes over the whole plan, pulling
+    fixed-size row chunks through scan→join→project instead of
+    materializing every intermediate.
+    """
+
+    #: registry name of the backend (matches its :class:`EngineSpec`)
+    name: str = ""
+    #: True when the backend executes plans as a chunk pipeline via
+    #: :meth:`run_streaming` instead of the materialized operator walk
+    streaming: bool = False
+
+    @abstractmethod
+    def scan(self, cluster: "Cluster", pattern: TriplePattern) -> List[object]:
+        """Evaluate one triple pattern per worker; one relation per slot."""
+
+    @abstractmethod
+    def join(self, relations: List[object]) -> object:
+        """k-ary multi-join of co-located relations (greedy pair order)."""
+
+    @abstractmethod
+    def route(self, cluster: "Cluster") -> Callable[[object], int]:
+        """The repartition routing function bound to *cluster*.
+
+        The returned callable maps one join-variable binding (a term or
+        a dictionary id, per the backend's representation) to the live
+        worker that owns it.
+        """
+
+    def empty_like(self, relation: object) -> object:
+        """A fresh empty relation with *relation*'s schema."""
+        return relation.empty_like()  # type: ignore[attr-defined]
+
+    def decode(self, relation: object) -> Relation:
+        """Materialize the final result as a term-level :class:`Relation`."""
+        return relation.decode()  # type: ignore[attr-defined]
+
+    def run_streaming(self, context: "StreamingContext") -> Tuple[object, float]:
+        """Execute a whole plan as a chunk pipeline (streaming backends).
+
+        Returns ``(result relation, critical path cost)``; only called
+        when :attr:`streaming` is True.
+        """
+        raise NotImplementedError(
+            f"engine {self.name!r} does not support streaming execution"
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+@dataclass
+class StreamingContext:
+    """Everything a streaming backend needs for one ``execute()`` run.
+
+    Built by the executor so streaming engines share the exact
+    governance envelope, recovery manager, and metrics sink of the
+    materialized path.
+    """
+
+    cluster: "Cluster"
+    parameters: object
+    plan: object
+    query: object
+    metrics: object
+    recovery: object
+    budget: object
+    limit: "int | None"
+    started: float
+
+
+class ReferenceEngine(Engine):
+    """Term-tuple relations: the original, oracle implementation."""
+
+    name = "reference"
+
+    def scan(self, cluster: "Cluster", pattern: TriplePattern) -> List[Relation]:
+        return [scan_pattern(graph, pattern) for graph in cluster.worker_graphs()]
+
+    def join(self, relations: List[Relation]) -> Relation:
+        return multi_join(relations)
+
+    def route(self, cluster: "Cluster") -> Callable[[object], int]:
+        return cluster.route
+
+
+class ColumnarEngine(Engine):
+    """Dictionary-encoded relations with indexed fragment scans."""
+
+    name = "columnar"
+
+    def scan(
+        self, cluster: "Cluster", pattern: TriplePattern
+    ) -> List[EncodedRelation]:
+        return [
+            scan_pattern_encoded(fragment, pattern)
+            for fragment in cluster.worker_fragments()
+        ]
+
+    def join(self, relations: List[EncodedRelation]) -> EncodedRelation:
+        return multi_join_encoded(relations)
+
+    def route(self, cluster: "Cluster") -> Callable[[object], int]:
+        return cluster.route_id
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registered backend: its factory plus analytic properties."""
+
+    #: registry key (the ``--engine`` choice / ``OptimizeOptions.engine``)
+    name: str
+    #: one-line description (CLI help is generated from these)
+    description: str
+    #: zero-argument constructor for a fresh :class:`Engine` instance
+    factory: Callable[[], Engine]
+    #: shuffle-width discount the MapReduce simulator applies to the
+    #: per-tuple transfer constants (β): encoded rows ship fixed-width
+    #: ids instead of serialized terms
+    shuffle_factor: float = 1.0
+    #: whether rows are dictionary-encoded ids (late materialization)
+    encoded: bool = False
+    #: whether the backend pipelines chunks instead of materializing
+    streaming: bool = False
+
+
+#: registration-ordered registry of engine specs
+_REGISTRY: Dict[str, EngineSpec] = {}
+
+
+def register_engine(spec: EngineSpec) -> EngineSpec:
+    """Add *spec* to the registry (name collisions are an error)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"engine {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def engine_spec(name: str) -> EngineSpec:
+    """The :class:`EngineSpec` registered under *name*.
+
+    Raises the executor's historical error shape for unknown names so
+    every consumer reports the same message.
+    """
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ValueError(f"unknown engine {name!r}; expected one of {ENGINES}")
+    return spec
+
+
+def engine_specs() -> List[EngineSpec]:
+    """All registered specs in registration order."""
+    return list(_REGISTRY.values())
+
+
+def resolve_engine(engine: Union[str, Engine]) -> Tuple[str, Engine]:
+    """Resolve a registered name or an :class:`Engine` instance.
+
+    Returns ``(name, instance)``: a name builds a fresh instance from
+    its spec's factory; an instance passes through (its :attr:`Engine.name`
+    need not be registered — bring-your-own backends are allowed).
+    """
+    if isinstance(engine, Engine):
+        return engine.name or type(engine).__name__, engine
+    return engine, engine_spec(engine).factory()
+
+
+class _EngineRegistryView:
+    """A live, tuple-flavoured view of the registered engine names.
+
+    Keeps every historical ``ENGINES`` idiom working against the
+    registry: ``"columnar" in ENGINES``, ``list(ENGINES)``, pytest
+    parametrization, and f-string interpolation in error messages
+    (``repr`` renders like the tuple it replaced).
+    """
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(_REGISTRY)
+
+    def __contains__(self, name: object) -> bool:
+        return name in _REGISTRY
+
+    def __len__(self) -> int:
+        return len(_REGISTRY)
+
+    def __getitem__(self, index: int) -> str:
+        return tuple(_REGISTRY)[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (tuple, list)):
+            return tuple(_REGISTRY) == tuple(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return repr(tuple(_REGISTRY))
+
+
+#: execution engines plans can run on — a live view over the registry
+ENGINES = _EngineRegistryView()
+
+
+register_engine(
+    EngineSpec(
+        name="reference",
+        description="term tuples; the original, oracle implementation",
+        factory=ReferenceEngine,
+    )
+)
+register_engine(
+    EngineSpec(
+        name="columnar",
+        description=(
+            "dictionary-encoded ids with indexed scans; identical "
+            "results, faster execution"
+        ),
+        factory=ColumnarEngine,
+        shuffle_factor=0.25,
+        encoded=True,
+    )
+)

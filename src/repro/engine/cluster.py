@@ -65,6 +65,12 @@ class Cluster:
         #: callbacks invoked by :meth:`heal` (e.g. a circuit breaker
         #: closing once its quarantined workers come back)
         self._heal_listeners: List[Callable[[], None]] = []
+        #: layout epoch: bumped on every liveness change
+        #: (:meth:`fail_worker` and :meth:`heal`).  Streaming scans
+        #: snapshot it and restart from the degraded layout when it
+        #: moves mid-stream — the sink's set semantics absorb the
+        #: re-emitted prefix, so restart-from-scratch is idempotent.
+        self.epoch = 0
 
     @classmethod
     def build(
@@ -173,6 +179,7 @@ class Cluster:
         # next columnar scan re-encodes them from the degraded graphs
         self._fragments.pop(worker, None)
         self._fragments.pop(target, None)
+        self.epoch += 1
         return target, len(lost_graph)
 
     def add_heal_listener(self, callback: Callable[[], None]) -> None:
@@ -188,6 +195,7 @@ class Cluster:
         self._dead.clear()
         self._override.clear()
         self._fragments.clear()
+        self.epoch += 1
         for callback in self._heal_listeners:
             callback()
 

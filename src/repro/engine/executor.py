@@ -28,7 +28,7 @@ executor takes exactly the historical zero-overhead path.
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis → core)
     from ..analysis.plan_verifier import PlanVerifier
@@ -41,8 +41,13 @@ from ..observability.spans import NULL_SPAN, Span
 from ..rdf.terms import Variable
 from ..rdf.triples import RDFGraph
 from ..sparql.ast import BGPQuery
+from .base import (
+    ENGINES,
+    Engine,
+    StreamingContext,
+    resolve_engine,
+)
 from .cluster import Cluster
-from .columnar import EncodedRelation, multi_join_encoded, scan_pattern_encoded
 from .faults import FaultInjector
 from .metrics import ExecutionMetrics, OperatorMetrics
 from .recovery import (
@@ -53,10 +58,12 @@ from .recovery import (
 )
 from .relations import Relation, multi_join, scan_pattern
 
-DistributedRelation = List[Relation]
+# importing the streaming backend registers its EngineSpec, so every
+# consumer of ENGINES (CLI choices, session validation, benchmarks)
+# sees "pipelined" as soon as the executor is importable
+from . import pipelined as _pipelined  # noqa: F401  (registration side effect)
 
-#: execution engines the executor can run plans on
-ENGINES = ("reference", "columnar")
+DistributedRelation = List[Relation]
 
 
 class ExecutionError(RuntimeError):
@@ -66,18 +73,28 @@ class ExecutionError(RuntimeError):
 class Executor:
     """Executes plans against a :class:`Cluster`.
 
-    ``engine`` selects the physical representation rows flow through:
+    ``engine`` selects the physical backend rows flow through — a
+    registered name (any entry of :data:`~repro.engine.base.ENGINES`)
+    or a ready :class:`~repro.engine.base.Engine` instance
+    (bring-your-own backends need not be registered):
 
     * ``"reference"`` — :class:`~repro.engine.relations.Relation` over
       term tuples; the original, oracle implementation.
     * ``"columnar"`` — :class:`~repro.engine.columnar.EncodedRelation`
       over dictionary ids with indexed fragment scans; terms are only
       materialized once, on the final projected result.
+    * ``"pipelined"`` — chunked streaming over encoded ids
+      (:mod:`~repro.engine.pipelined`); identical result rows, bounded
+      inter-operator buffering, early first row and ``LIMIT`` pushdown.
 
-    Both engines execute the *same* plans with identical operator
-    semantics, tuple counts, and simulated costs — the engine changes
-    wall-clock time, never the priced critical path, so metrics stay
-    comparable across engines.
+    Every engine executes the *same* plans and returns the same result
+    rows.  The two materialized engines additionally match each other's
+    tuple counts and priced critical path exactly (the engine changes
+    wall-clock time, never the cost model's inputs); the streaming
+    engine evaluates joins globally, so its counts price the pipeline
+    topology it actually ran — without the cross-worker duplicate
+    production replicated partitionings cause — and its critical path
+    can come out lower.
 
     With a fault injector, a cluster that loses workers stays degraded
     after :meth:`execute` returns (as a real cluster would); call
@@ -91,18 +108,14 @@ class Executor:
         fault_injector: Optional[FaultInjector] = None,
         retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
         plan_verifier: Optional["PlanVerifier"] = None,
-        engine: str = "reference",
+        engine: Union[str, Engine] = "reference",
         circuit_breaker: Optional[CircuitBreaker] = None,
     ) -> None:
-        if engine not in ENGINES:
-            raise ValueError(
-                f"unknown engine {engine!r}; expected one of {ENGINES}"
-            )
+        self.engine, self._impl = resolve_engine(engine)
         self.cluster = cluster
         self.parameters = parameters
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy
-        self.engine = engine
         #: opt-in worker quarantine (changes seeded fault trajectories,
         #: so it is never on by default); closes again when the cluster
         #: heals
@@ -110,14 +123,10 @@ class Executor:
         if circuit_breaker is not None:
             cluster.add_heal_listener(circuit_breaker.reset)
         # engine dispatch, resolved once: the k-way join and the
-        # repartition routing function (both bound methods read the
+        # repartition routing function (the routing callable reads the
         # cluster's *current* liveness state at call time)
-        if engine == "columnar":
-            self._multi_join = multi_join_encoded
-            self._route = cluster.route_id
-        else:
-            self._multi_join = multi_join
-            self._route = cluster.route
+        self._multi_join = self._impl.join
+        self._route = self._impl.route(cluster)
         #: optional pre-execution gate: a plan failing invariant
         #: verification raises before any operator runs (``--verify``)
         self.plan_verifier = plan_verifier
@@ -135,23 +144,34 @@ class Executor:
         plan: PlanNode,
         query: Optional[BGPQuery] = None,
         budget: Optional[QueryBudget] = None,
+        limit: Optional[int] = None,
     ) -> Tuple[Relation, ExecutionMetrics]:
         """Run *plan*; return the (deduplicated, projected) result.
 
         When *query* is given and has a projection, the final relation
         is projected onto it.
 
-        A *budget* is checked at every operator boundary: the produced
-        rows are charged against its row budget, its deadline and
-        cancellation token are polled, and the recovery manager charges
-        every retry against its query-wide retry budget.  A breach
-        raises :class:`~repro.core.governance.QueryAborted` enriched
-        with the partial metrics, the fault-event attempt history, and
-        the open span trace — execution never degrades partially, there
-        is no partial answer to degrade to.
+        A *limit* caps the result at that many rows.  Streaming engines
+        push it into the pipeline (execution stops as soon as the limit
+        is reached; ``metrics.limit_pushdown`` is set); materialized
+        engines truncate the final result deterministically (rows
+        sorted by string form).  The two selections may keep different
+        rows — a LIMIT without ORDER BY never promises which.
+
+        A *budget* is checked at every operator boundary (streaming
+        engines: at every chunk boundary): the produced rows are
+        charged against its row budget, its deadline and cancellation
+        token are polled, and the recovery manager charges every retry
+        against its query-wide retry budget.  A breach raises
+        :class:`~repro.core.governance.QueryAborted` enriched with the
+        partial metrics, the fault-event attempt history, and the open
+        span trace — execution never degrades partially, there is no
+        partial answer to degrade to.
         """
         if self.plan_verifier is not None:
             self.plan_verifier.check(plan)
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
         metrics = ExecutionMetrics()
         if self.fault_injector is not None and self.fault_injector.active:
             self.fault_injector.reset()  # replay from the seed every run
@@ -173,16 +193,37 @@ class Executor:
             workers=self.cluster.size,
             fault_injection=metrics.fault_injection_enabled,
             engine=self.engine,
+            streaming=self._impl.streaming,
         ) as sp:
             started = time.perf_counter()
             try:
-                distributed, critical = self._execute(plan, metrics)
-                result = self._collect(distributed)
-                if query is not None and query.projection:
-                    result = result.project(query.projection)
-                if isinstance(result, EncodedRelation):
+                if self._impl.streaming:
+                    # the engine pulls chunks through the whole plan;
+                    # projection/LIMIT already happened in its sink
+                    context = StreamingContext(
+                        cluster=self.cluster,
+                        parameters=self.parameters,
+                        plan=plan,
+                        query=query,
+                        metrics=metrics,
+                        recovery=self._recovery,
+                        budget=budget,
+                        limit=limit,
+                        started=started,
+                    )
+                    streamed, critical = self._impl.run_streaming(context)
+                    result = self._impl.decode(streamed)
+                else:
+                    distributed, critical = self._execute(plan, metrics)
+                    result = self._collect(distributed)
+                    if query is not None and query.projection:
+                        result = result.project(query.projection)
                     # late materialization: decode only the final rows
-                    result = result.decode()
+                    # (the reference engine's decode is the identity)
+                    result = self._impl.decode(result)
+                    if limit is not None and len(result) > limit:
+                        kept = set(sorted(result.rows, key=str)[:limit])
+                        result = Relation(result.variables, kept)
             except QueryAborted as abort:
                 metrics.wall_seconds = time.perf_counter() - started
                 self._enrich_abort(abort, metrics, query)
@@ -190,6 +231,10 @@ class Executor:
             metrics.wall_seconds = time.perf_counter() - started
             metrics.result_rows = len(result)
             metrics.critical_path_cost = critical
+            if metrics.first_row_seconds is None:
+                # materialized engines: the first row is only available
+                # once the whole result is — reconcile to wall time
+                metrics.first_row_seconds = metrics.wall_seconds
             if self._recovery is not None:
                 metrics.workers_failed = self._recovery.workers_failed
             if sp is not NULL_SPAN:
@@ -287,16 +332,7 @@ class Executor:
         started = time.perf_counter()
 
         def run_once() -> Tuple[DistributedRelation, OperatorMetrics]:
-            if self.engine == "columnar":
-                relations = [
-                    scan_pattern_encoded(fragment, node.pattern)
-                    for fragment in self.cluster.worker_fragments()
-                ]
-            else:
-                relations = [
-                    scan_pattern(graph, node.pattern)
-                    for graph in self.cluster.worker_graphs()
-                ]
+            relations = self._impl.scan(self.cluster, node.pattern)
             produced = sum(len(r) for r in relations)
             op = OperatorMetrics(
                 operator=f"scan[{node.pattern_index}]",

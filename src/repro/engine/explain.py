@@ -51,6 +51,9 @@ class ExplainReport:
     result_rows: int
     estimated_plan_cost: float
     measured_plan_cost: float
+    #: True when a LIMIT was pushed into the streaming pipeline (the
+    #: measured counts then cover only the prefix that ran)
+    limit_pushdown: bool = False
 
     @property
     def max_q_error(self) -> float:
@@ -76,6 +79,11 @@ class ExplainReport:
             f"measured cost {self.measured_plan_cost:.2f}, "
             f"result rows {self.result_rows}, max q-error {self.max_q_error:.2f}"
         )
+        if self.limit_pushdown:
+            lines.append(
+                "note: LIMIT pushed into the stream — execution stopped "
+                "early, so measured counts cover only the prefix that ran"
+            )
         return "\n".join(lines)
 
 
@@ -87,6 +95,7 @@ def explain(
     fault_injector: Optional["FaultInjector"] = None,
     retry_policy: Optional["RetryPolicy"] = None,
     engine: str = "reference",
+    limit: Optional[int] = None,
 ) -> Tuple[Relation, ExplainReport]:
     """Execute *plan* and build the estimated-vs-measured report.
 
@@ -105,7 +114,7 @@ def explain(
         retry_policy=retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY,
         engine=engine,
     )
-    relation, metrics = executor.execute(plan, query)
+    relation, metrics = executor.execute(plan, query, limit=limit)
     joins_postorder = _joins_postorder(plan)
     join_metrics = [op for op in metrics.operators if op.algorithm != "scan"]
     rows: List[OperatorExplain] = []
@@ -129,6 +138,7 @@ def explain(
         result_rows=len(relation),
         estimated_plan_cost=plan.cost,
         measured_plan_cost=metrics.critical_path_cost,
+        limit_pushdown=metrics.limit_pushdown,
     )
     return relation, report
 

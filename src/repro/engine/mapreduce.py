@@ -28,15 +28,19 @@ from typing import List, Optional, Tuple
 
 from ..core.cost import CostParameters, PAPER_PARAMETERS
 from ..core.plans import JoinAlgorithm, JoinNode, PlanNode, ScanNode
-from .executor import ENGINES
+from .executor import ENGINES  # importing the executor registers all backends
+from .base import engine_spec
 from .recovery import DEFAULT_RETRY_POLICY, RetryPolicy
 
-#: shuffle-width discount of the columnar engine: a dictionary-encoded
+#: shuffle-width discount of the encoded engines: a dictionary-encoded
 #: row ships 8-byte ids instead of serialized terms, so the per-tuple
 #: transfer constants (β) shrink by roughly this factor.  The value is
 #: a deliberate round figure — the simulator studies *trends*, and the
 #: executor's priced costs stay engine-neutral; only this opt-in
-#: analytic model applies the discount.
+#: analytic model applies the discount.  Kept as a named constant for
+#: API compatibility; the registry's per-engine ``shuffle_factor``
+#: (see :class:`~repro.engine.base.EngineSpec`) is what the simulator
+#: actually reads.
 COLUMNAR_SHUFFLE_FACTOR = 0.25
 
 
@@ -136,10 +140,12 @@ class MapReduceSimulator:
     tax once per wave on the critical path, which is the shape-vs-
     robustness trade-off `bench_fault_tolerance` sweeps.
 
-    With ``engine="columnar"`` the per-tuple transfer constants (β)
-    are scaled by :data:`COLUMNAR_SHUFFLE_FACTOR` before pricing:
-    shuffles move fixed-width dictionary ids instead of serialized
-    terms.  The default keeps the historical engine-neutral pricing.
+    The per-tuple transfer constants (β) are scaled by the registered
+    engine's ``shuffle_factor`` (:class:`~repro.engine.base.EngineSpec`)
+    before pricing — the encoded engines (``columnar``, ``pipelined``)
+    shuffle fixed-width dictionary ids instead of serialized terms and
+    declare :data:`COLUMNAR_SHUFFLE_FACTOR`.  The default engine keeps
+    the historical engine-neutral pricing.
     """
 
     def __init__(
@@ -155,17 +161,15 @@ class MapReduceSimulator:
                 f"fault_rate must be in [0, 1) for expected-cost pricing, "
                 f"got {fault_rate}"
             )
-        if engine not in ENGINES:
-            raise ValueError(
-                f"unknown engine {engine!r}; expected one of {ENGINES}"
-            )
-        if engine == "columnar":
+        # registry-driven pricing: each backend's spec declares its
+        # shuffle-width discount (raises the historical error for
+        # unknown names)
+        shuffle_factor = engine_spec(engine).shuffle_factor
+        if shuffle_factor != 1.0:
             parameters = replace(
                 parameters,
-                beta_broadcast=parameters.beta_broadcast
-                * COLUMNAR_SHUFFLE_FACTOR,
-                beta_repartition=parameters.beta_repartition
-                * COLUMNAR_SHUFFLE_FACTOR,
+                beta_broadcast=parameters.beta_broadcast * shuffle_factor,
+                beta_repartition=parameters.beta_repartition * shuffle_factor,
             )
         self.parameters = parameters
         self.job_startup_cost = job_startup_cost

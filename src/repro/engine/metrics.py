@@ -11,7 +11,7 @@ deterministic function of the real data movement the plan caused.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..core.cost import CostParameters
 from ..core.plans import JoinAlgorithm
@@ -84,6 +84,22 @@ class ExecutionMetrics:
     #: the :class:`~repro.core.governance.AbortCause` value when this
     #: run was stopped by governance (empty for completed runs)
     abort_cause: str = ""
+    #: seconds from execution start until the first distinct result row
+    #: was available.  Streaming engines stamp it when the sink admits
+    #: its first row (with an ``executor.first_row`` span event);
+    #: materialized engines reconcile it to ``wall_seconds`` — their
+    #: first row only exists once everything does.
+    first_row_seconds: Optional[float] = None
+    #: high-water mark of rows held in inter-operator chunk buffers
+    #: (streaming engines only; bounded by chunk_size × pipeline depth).
+    #: Operator working state — hash build tables, the sink's dedup set
+    #: — is deliberately outside this accounting: the bound is about
+    #: what pipelining buffers *between* operators.
+    peak_buffered_rows: int = 0
+    #: True when a LIMIT was pushed into the pipeline (execution
+    #: stopped as soon as the limit was reached, instead of truncating
+    #: a fully materialized result)
+    limit_pushdown: bool = False
 
     @property
     def total_tuples_read(self) -> int:
@@ -129,6 +145,12 @@ class ExecutionMetrics:
             "wall_seconds": self.wall_seconds,
             "simulated_time": self.critical_path_cost,
         }
+        if self.first_row_seconds is not None:
+            data["first_row_seconds"] = self.first_row_seconds
+        if self.peak_buffered_rows:
+            data["peak_buffered_rows"] = self.peak_buffered_rows
+        if self.limit_pushdown:
+            data["limit_pushdown"] = True
         if self.fault_injection_enabled:
             data["faults_injected"] = self.total_faults_injected
             data["retries"] = self.total_retries

@@ -50,6 +50,48 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster imports noth
 AttemptRunner = Callable[[], Tuple[List[Relation], OperatorMetrics]]
 
 
+@dataclass
+class FaultOutcome:
+    """The resolved fault history of one operator, priced lazily.
+
+    Produced by :meth:`RecoveryManager.negotiate` for streaming
+    execution, where operators have no materialized attempt to re-run:
+    the draw loop is resolved *eagerly* (fail-stops applied to the
+    cluster, backoff and re-route costs fixed), while the parts of the
+    recovery price that depend on the operator's eventual tuple counts
+    — wasted transient attempts and the straggler stretch — are
+    deferred to :meth:`apply`, called once the stream has drained and
+    the operator's metrics are final.
+    """
+
+    retries: int = 0
+    faults_injected: int = 0
+    #: backoff waits + fail-stop re-routes + quarantines, priced eagerly
+    fixed_cost: float = 0.0
+    #: transient attempts whose output was lost; each costs one full
+    #: ``simulated_cost`` of the operator when finalized
+    wasted_attempts: int = 0
+    #: the straggler that ended the draw loop, if any
+    straggler: Optional[FaultEvent] = None
+    #: live workers when the straggler hit (its share denominator)
+    live_size: int = 1
+
+    def apply(self, op: OperatorMetrics, parameters: CostParameters) -> None:
+        """Stamp this outcome onto *op* using its final tuple counts."""
+        op.retries = self.retries
+        op.faults_injected = self.faults_injected
+        recovery = self.fixed_cost
+        if self.wasted_attempts:
+            recovery += self.wasted_attempts * op.simulated_cost(parameters)
+        if self.straggler is not None:
+            base = op.simulated_cost(parameters)
+            if base <= 0.0:
+                base = parameters.alpha * op.tuples_read
+            share = base / max(self.live_size, 1)
+            recovery += (self.straggler.slowdown - 1.0) * share
+        op.recovery_cost = recovery
+
+
 class FaultToleranceError(QueryAborted):
     """Raised when an operator exhausts its retry budget (job abort).
 
@@ -325,6 +367,76 @@ class RecoveryManager:
         op.faults_injected = faults
         op.recovery_cost = recovery
         return result, op
+
+    def negotiate(self, label: str) -> FaultOutcome:
+        """Resolve one operator's fault draws without running attempts.
+
+        The streaming engine's counterpart of :meth:`run_operator`:
+        same draw order, same budget/breaker/backoff handling, same
+        retry exhaustion — but fail-stops are applied to the cluster
+        *immediately* (the pipeline then streams the final degraded
+        layout, which is result-invariant: results union across all
+        workers and :meth:`~repro.engine.cluster.Cluster.fail_worker`
+        preserves the global triple set), and no in-flight relations
+        exist to migrate (streaming lineage is replayed from scans).
+        Count-dependent pricing is deferred to
+        :meth:`FaultOutcome.apply`.
+        """
+        outcome = FaultOutcome()
+        attempts: List[FaultEvent] = []
+        budget = self.budget
+        query_id = budget.query_id if budget is not None else ""
+        while True:
+            if budget is not None:
+                budget.check_cancelled(phase="execute", operator=label)
+                budget.check_deadline(phase="execute", operator=label)
+            fault = self.injector.draw(
+                label, outcome.retries, self.cluster.live_workers
+            )
+            if fault is None:
+                return outcome
+            outcome.faults_injected += 1
+            attempts.append(fault)
+            obs.event(
+                "fault",
+                kind=fault.kind.value,
+                worker=fault.worker,
+                operator=label,
+                attempt=outcome.retries + 1,
+            )
+            obs.count("engine.recovery.faults")
+            if fault.kind is FaultKind.STRAGGLER:
+                outcome.straggler = fault
+                outcome.live_size = self.cluster.live_size
+                return outcome
+            tripped = (
+                self.breaker is not None
+                and self.breaker.record_fault(fault.worker)
+            )
+            outcome.retries += 1
+            if budget is not None:
+                budget.charge_retry(phase="execute", operator=label)
+            if outcome.retries > self.policy.max_retries:
+                raise FaultToleranceError(
+                    f"{label}: retry budget ({self.policy.max_retries}) "
+                    f"exhausted; last fault was {fault}",
+                    operator=label,
+                    attempts=tuple(attempts),
+                    query_id=query_id,
+                )
+            obs.event("retry", operator=label, retry=outcome.retries)
+            obs.count("engine.recovery.retries")
+            outcome.fixed_cost += self.policy.backoff_cost(outcome.retries)
+            if fault.kind is FaultKind.TRANSIENT:
+                if tripped:
+                    outcome.fixed_cost += self._quarantine(
+                        fault.worker, label, []
+                    )
+                outcome.wasted_attempts += 1
+            else:
+                outcome.fixed_cost += self._recover_fail_stop(fault.worker, [])
+                if tripped:
+                    self._note_trip(fault.worker, label)
 
     # ------------------------------------------------------------------
     # circuit breaker

@@ -85,6 +85,15 @@ class Relation:
             raise ValueError("union requires identical schemas")
         self.rows.update(other.rows)
 
+    def decode(self) -> "Relation":
+        """Identity: reference rows already hold terms.
+
+        Mirrors :meth:`EncodedRelation.decode` so the executor's final
+        materialization is engine-uniform — every engine's result
+        answers ``decode()``.
+        """
+        return self
+
     def __repr__(self) -> str:
         names = ",".join(v.name for v in self.variables)
         return f"Relation([{names}], {len(self.rows)} rows)"
@@ -210,7 +219,7 @@ def greedy_multi_join(relations, join_pair):
     pending = list(relations)
     index = min(range(len(pending)), key=lambda i: len(pending[i]))
     current = pending.pop(index)
-    while pending:
+    while pending:  # lint: disable=LINT014 bounded by join arity; callers poll at the operator/chunk boundary
         connected = [
             i
             for i, rel in enumerate(pending)

@@ -100,10 +100,42 @@ class TestRun:
         assert "?x" in captured.out and "?z" in captured.out
         assert "result_rows: 10" in captured.err
 
-    def test_limit(self, capsys, query_file, data_file):
+    def test_limit_truncates_result(self, capsys, query_file, data_file):
         main(["run", query_file, "--data", data_file, "--limit", "2"])
         captured = capsys.readouterr()
-        assert "more rows" in captured.err
+        assert "result_rows: 2" in captured.err
+        body = [line for line in captured.out.splitlines() if line][1:]
+        assert len(body) == 2
+
+    def test_default_print_cap_notes_remaining_rows(
+        self, capsys, query_file, data_file
+    ):
+        # 10 result rows, no --limit: all execute, 20-row print cap is
+        # not reached, so no truncation note either way
+        main(["run", query_file, "--data", data_file])
+        captured = capsys.readouterr()
+        assert "result_rows: 10" in captured.err
+        assert "more rows" not in captured.err
+
+    def test_limit_pushdown_with_pipelined_engine(
+        self, capsys, query_file, data_file
+    ):
+        main(
+            [
+                "run",
+                query_file,
+                "--data",
+                data_file,
+                "--engine",
+                "pipelined",
+                "--limit",
+                "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert "limit_pushdown: True" in captured.err
+        assert "limit-pushdown: stream stopped after 2 row(s)" in captured.err
+        assert "first_row_seconds" in captured.err
 
     def test_fault_injection_flags(self, capsys, query_file, data_file):
         code = main(

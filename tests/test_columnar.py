@@ -338,9 +338,18 @@ class TestEngineSelection:
         with pytest.raises(ValueError, match="unknown engine"):
             Optimizer(OptimizeOptions(engine="vectorized"))
 
-    def test_options_accept_both_engines(self):
-        for engine in ("reference", "columnar"):
+    def test_options_accept_all_registered_engines(self):
+        from repro.engine import ENGINES
+
+        assert tuple(ENGINES) == ("reference", "columnar", "pipelined")
+        for engine in ENGINES:
             assert Optimizer(OptimizeOptions(engine=engine)).options.engine == engine
+
+    def test_options_accept_engine_instance(self):
+        from repro.engine import PipelinedEngine
+
+        instance = PipelinedEngine(chunk_size=8)
+        assert Optimizer(OptimizeOptions(engine=instance)).options.engine is instance
 
     def test_mapreduce_simulator_engine(self):
         from repro.engine import COLUMNAR_SHUFFLE_FACTOR, MapReduceSimulator
@@ -359,9 +368,10 @@ class TestEngineSelection:
 # columnar ≡ reference, exhaustively and property-based
 # ----------------------------------------------------------------------
 class TestColumnarEqualsReference:
+    @pytest.mark.parametrize("engine", ["columnar", "pipelined"])
     @pytest.mark.parametrize("algorithm", ALGORITHMS)
     @pytest.mark.parametrize("method_index", range(5))
-    def test_all_algorithms_all_partitioners(self, algorithm, method_index):
+    def test_all_algorithms_all_partitioners(self, algorithm, method_index, engine):
         rng = random.Random(42)
         dataset = random_dataset(rng)
         query = random_connected_query(rng, 3)
@@ -372,7 +382,7 @@ class TestColumnarEqualsReference:
             query, algorithm=algorithm, statistics=statistics, partitioning=method
         )
         cluster = Cluster.build(dataset, method, cluster_size=3)
-        relation, metrics = Executor(cluster, engine="columnar").execute(
+        relation, metrics = Executor(cluster, engine=engine).execute(
             result.plan, query
         )
         assert relation.variables == reference.variables
@@ -392,9 +402,12 @@ class TestColumnarEqualsReference:
     def test_columnar_equals_reference_under_faults(
         self, seed, fault_seed, algorithm
     ):
-        """Same plan, same fault seed: both engines return the same
-        decoded rows (and the same shipped-tuple totals) even while
-        workers crash and recover mid-query."""
+        """Same plan, same fault seed: all three engines return the same
+        decoded rows even while workers crash and recover mid-query.
+        The materialized engines additionally agree on shipped-tuple
+        totals and critical path; pipelined joins globally (probe stream
+        against deduplicated build tables), so its simulated costs may
+        legitimately differ and only the result multiset is compared."""
         rng = random.Random(seed)
         dataset = random_dataset(rng)
         query = random_connected_query(rng, 3)
@@ -404,7 +417,7 @@ class TestColumnarEqualsReference:
             query, algorithm=algorithm, statistics=statistics, partitioning=method
         )
         outcomes = {}
-        for engine in ("reference", "columnar"):
+        for engine in ("reference", "columnar", "pipelined"):
             cluster = Cluster.build(dataset, method, cluster_size=3)
             executor = Executor(
                 cluster,
@@ -415,8 +428,11 @@ class TestColumnarEqualsReference:
             outcomes[engine] = executor.execute(result.plan, query)
         reference_rel, reference_metrics = outcomes["reference"]
         columnar_rel, columnar_metrics = outcomes["columnar"]
+        pipelined_rel, _ = outcomes["pipelined"]
         assert columnar_rel.variables == reference_rel.variables
         assert columnar_rel.rows == reference_rel.rows
+        assert pipelined_rel.variables == reference_rel.variables
+        assert pipelined_rel.rows == reference_rel.rows
         assert (
             columnar_metrics.total_tuples_shipped
             == reference_metrics.total_tuples_shipped

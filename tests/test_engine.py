@@ -186,4 +186,5 @@ class TestMetrics:
             "tuples_produced",
             "wall_seconds",
             "simulated_time",
+            "first_row_seconds",
         }

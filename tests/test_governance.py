@@ -375,6 +375,28 @@ class TestTimeoutDeprecationShim:
         )
         assert not result.stats.degraded
 
+    def test_facade_timeout_warns_with_removal_version(self, lubm, monkeypatch):
+        from repro.core import optimizer as optimizer_module
+        from repro.core import session as session_module
+
+        monkeypatch.setattr(optimizer_module, "_timeout_warned", False)
+        monkeypatch.setattr(session_module, "_timeout_shim_warned", True)
+        _, query, method, statistics = lubm
+        with pytest.warns(DeprecationWarning, match=r"removed in 2\.0"):
+            optimize(
+                query,
+                statistics=statistics,
+                partitioning=method,
+                timeout_seconds=3600.0,
+            )
+
+    def test_session_alias_warning_names_removal_version(self, monkeypatch):
+        from repro.core import session as session_module
+
+        monkeypatch.setattr(session_module, "_timeout_shim_warned", False)
+        with pytest.warns(DeprecationWarning, match=r"removed in 2\.0"):
+            OptimizeOptions(timeout_seconds=12.0)
+
 
 class TestZeroCostOff:
     def test_optimizer_identical_with_generous_budget(self, lubm):

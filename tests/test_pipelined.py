@@ -1,0 +1,327 @@
+"""The streaming pipelined engine and the engine registry protocol.
+
+Covers the `Engine` protocol surface (registry views, spec lookup,
+bring-your-own instances), the pipelined backend's chunked streaming
+(boundary sweep, LIMIT pushdown, bounded buffering, first-row metric),
+and mid-stream fail-stop recovery via the cluster layout epoch.
+"""
+
+import random
+
+import pytest
+
+from repro.core import StatisticsCatalog, optimize
+from repro.core.governance import QueryAborted, QueryBudget
+from repro.engine import (
+    Cluster,
+    ColumnarEngine,
+    Engine,
+    EngineSpec,
+    Executor,
+    PipelinedEngine,
+    engine_spec,
+    engine_specs,
+    evaluate_reference,
+    plan_depth,
+    register_engine,
+    resolve_engine,
+)
+from repro.engine.base import ENGINES
+from repro.observability import runtime as obs
+from repro.observability.spans import Tracer
+from repro.partitioning import HashSubjectObject
+
+
+def span_events(tracer, name):
+    return [
+        event
+        for span in tracer.finished_spans()
+        for event in span.events
+        if event.name == name
+    ]
+
+
+@pytest.fixture
+def planned(toy_dataset, toy_query):
+    statistics = StatisticsCatalog.from_dataset(toy_query, toy_dataset)
+    method = HashSubjectObject()
+    result = optimize(toy_query, statistics=statistics, partitioning=method)
+    cluster = Cluster.build(toy_dataset, method, cluster_size=3)
+    return cluster, result.plan, toy_query
+
+
+@pytest.fixture
+def reference_rows(toy_dataset, toy_query):
+    return evaluate_reference(toy_query, toy_dataset.graph)
+
+
+# ----------------------------------------------------------------------
+# registry protocol
+# ----------------------------------------------------------------------
+class TestEngineRegistry:
+    def test_view_behaves_like_the_historical_tuple(self):
+        assert "pipelined" in ENGINES
+        assert "vectorized" not in ENGINES
+        assert len(ENGINES) == 3
+        assert ENGINES[0] == "reference"
+        assert ENGINES == ("reference", "columnar", "pipelined")
+        assert ENGINES == ["reference", "columnar", "pipelined"]
+        assert repr(ENGINES) == "('reference', 'columnar', 'pipelined')"
+        assert list(ENGINES) == ["reference", "columnar", "pipelined"]
+
+    def test_specs_in_registration_order(self):
+        specs = engine_specs()
+        assert [spec.name for spec in specs] == list(ENGINES)
+        by_name = {spec.name: spec for spec in specs}
+        assert by_name["reference"].shuffle_factor == 1.0
+        assert not by_name["reference"].encoded
+        assert by_name["columnar"].encoded
+        assert not by_name["columnar"].streaming
+        assert by_name["pipelined"].streaming
+        # encoded rows ship fixed-width ids: same discount as columnar
+        assert (
+            by_name["pipelined"].shuffle_factor
+            == by_name["columnar"].shuffle_factor
+        )
+
+    def test_unknown_spec_raises_with_choices(self):
+        with pytest.raises(ValueError, match="unknown engine 'vectorized'"):
+            engine_spec("vectorized")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_engine(
+                EngineSpec(
+                    name="pipelined",
+                    description="imposter",
+                    factory=PipelinedEngine,
+                )
+            )
+
+    def test_resolve_name_builds_fresh_instances(self):
+        name, first = resolve_engine("pipelined")
+        _, second = resolve_engine("pipelined")
+        assert name == "pipelined"
+        assert isinstance(first, PipelinedEngine)
+        assert first is not second
+
+    def test_resolve_instance_passes_through(self):
+        instance = PipelinedEngine(chunk_size=4)
+        name, resolved = resolve_engine(instance)
+        assert name == "pipelined"
+        assert resolved is instance
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            PipelinedEngine(chunk_size=0)
+
+
+class TestExecutorEngineAcceptance:
+    def test_executor_accepts_engine_instance(self, planned, reference_rows):
+        cluster, plan, query = planned
+        executor = Executor(cluster, engine=PipelinedEngine(chunk_size=16))
+        relation, metrics = executor.execute(plan, query)
+        assert relation.rows == reference_rows.rows
+        assert executor.engine == "pipelined"
+
+    def test_executor_accepts_unregistered_instance(self, planned, reference_rows):
+        class LocalEngine(ColumnarEngine):
+            name = "bring-your-own"
+
+        cluster, plan, query = planned
+        executor = Executor(cluster, engine=LocalEngine())
+        relation, _ = executor.execute(plan, query)
+        assert executor.engine == "bring-your-own"
+        assert relation.rows == reference_rows.rows
+
+    def test_abstract_engine_cannot_instantiate(self):
+        with pytest.raises(TypeError):
+            Engine()
+
+
+# ----------------------------------------------------------------------
+# chunk boundaries and equivalence
+# ----------------------------------------------------------------------
+class TestChunkBoundaries:
+    @pytest.mark.parametrize("chunk_size", [1, 2, 7, 64, 1024])
+    def test_rows_identical_across_chunk_sizes(
+        self, planned, reference_rows, chunk_size
+    ):
+        """Results must not depend on where chunk boundaries fall —
+        including chunk_size=1 (a boundary after every row) and sizes
+        larger than any intermediate (a single chunk per stream)."""
+        cluster, plan, query = planned
+        executor = Executor(
+            cluster, engine=PipelinedEngine(chunk_size=chunk_size)
+        )
+        relation, metrics = executor.execute(plan, query)
+        assert relation.variables == reference_rows.variables
+        assert relation.rows == reference_rows.rows
+        assert metrics.result_rows == len(reference_rows)
+
+    def test_peak_buffered_rows_bounded_by_depth(self, planned):
+        cluster, plan, query = planned
+        for chunk_size in (1, 4, 32):
+            executor = Executor(
+                cluster, engine=PipelinedEngine(chunk_size=chunk_size)
+            )
+            _, metrics = executor.execute(plan, query)
+            assert metrics.peak_buffered_rows > 0
+            assert (
+                metrics.peak_buffered_rows <= chunk_size * plan_depth(plan)
+            )
+
+    def test_operator_labels_match_columnar_postorder(self, planned):
+        cluster, plan, query = planned
+        _, streamed = Executor(cluster, engine="pipelined").execute(plan, query)
+        _, materialized = Executor(cluster, engine="columnar").execute(
+            plan, query
+        )
+        assert [op.operator for op in streamed.operators] == [
+            op.operator for op in materialized.operators
+        ]
+
+
+# ----------------------------------------------------------------------
+# LIMIT pushdown
+# ----------------------------------------------------------------------
+class TestLimitPushdown:
+    def test_limit_stops_the_stream_early(self, planned, reference_rows):
+        cluster, plan, query = planned
+        executor = Executor(cluster, engine=PipelinedEngine(chunk_size=2))
+        relation, metrics = executor.execute(plan, query, limit=3)
+        assert len(relation) == 3
+        assert relation.rows <= reference_rows.rows
+        assert metrics.limit_pushdown
+        assert metrics.result_rows == 3
+
+    def test_limit_larger_than_result_returns_everything(
+        self, planned, reference_rows
+    ):
+        cluster, plan, query = planned
+        relation, metrics = Executor(cluster, engine="pipelined").execute(
+            plan, query, limit=10_000
+        )
+        assert relation.rows == reference_rows.rows
+        assert metrics.limit_pushdown
+
+    def test_limit_zero_returns_no_rows(self, planned):
+        cluster, plan, query = planned
+        relation, _ = Executor(cluster, engine="pipelined").execute(
+            plan, query, limit=0
+        )
+        assert len(relation) == 0
+
+    def test_negative_limit_rejected(self, planned):
+        cluster, plan, query = planned
+        with pytest.raises(ValueError, match="limit"):
+            Executor(cluster, engine="pipelined").execute(plan, query, limit=-1)
+
+    def test_materialized_engines_post_truncate(self, planned, reference_rows):
+        """Non-streaming engines honor the limit by deterministic
+        truncation of the full result — no pushdown flag."""
+        cluster, plan, query = planned
+        kept = {}
+        for engine in ("reference", "columnar"):
+            relation, metrics = Executor(cluster, engine=engine).execute(
+                plan, query, limit=3
+            )
+            assert len(relation) == 3
+            assert relation.rows <= reference_rows.rows
+            assert not metrics.limit_pushdown
+            kept[engine] = relation.rows
+        assert kept["reference"] == kept["columnar"]
+
+
+# ----------------------------------------------------------------------
+# first-row metric
+# ----------------------------------------------------------------------
+class TestFirstRow:
+    def test_pipelined_first_row_precedes_wall_clock(self, planned):
+        cluster, plan, query = planned
+        tracer = Tracer()
+        with obs.activate(tracer):
+            _, metrics = Executor(cluster, engine="pipelined").execute(
+                plan, query
+            )
+        assert metrics.first_row_seconds is not None
+        assert 0 < metrics.first_row_seconds <= metrics.wall_seconds
+        events = span_events(tracer, "executor.first_row")
+        assert len(events) == 1
+        assert events[0].attributes["engine"] == "pipelined"
+        assert events[0].attributes["seconds"] == pytest.approx(
+            metrics.first_row_seconds
+        )
+
+    def test_materialized_first_row_reconciles_to_wall(self, planned):
+        """Materialized engines produce every row at once: first-row
+        latency is defined as the full wall time so the metric is
+        comparable across engines."""
+        cluster, plan, query = planned
+        for engine in ("reference", "columnar"):
+            _, metrics = Executor(cluster, engine=engine).execute(plan, query)
+            assert metrics.first_row_seconds == metrics.wall_seconds
+
+    def test_summary_reports_first_row(self, planned):
+        cluster, plan, query = planned
+        _, metrics = Executor(cluster, engine="pipelined").execute(plan, query)
+        assert "first_row_seconds" in metrics.summary()
+
+
+# ----------------------------------------------------------------------
+# governance: per-chunk polls and charges
+# ----------------------------------------------------------------------
+class TestStreamingGovernance:
+    def test_row_budget_aborts_mid_stream(self, planned):
+        cluster, plan, query = planned
+        budget = QueryBudget(row_budget=5, query_id="streamed")
+        executor = Executor(cluster, engine=PipelinedEngine(chunk_size=2))
+        with pytest.raises(QueryAborted, match="row budget"):
+            executor.execute(plan, query, budget=budget)
+        # the breach happened at a chunk boundary, not after the fact
+        assert budget.rows_charged > 5
+
+    def test_generous_budget_charges_all_produced_rows(self, planned):
+        cluster, plan, query = planned
+        budget = QueryBudget(row_budget=1_000_000)
+        _, metrics = Executor(cluster, engine="pipelined").execute(
+            plan, query, budget=budget
+        )
+        produced = sum(op.tuples_produced for op in metrics.operators)
+        assert budget.rows_charged == produced
+
+
+# ----------------------------------------------------------------------
+# fail-stop recovery
+# ----------------------------------------------------------------------
+class TestStreamRecovery:
+    def test_mid_stream_fail_stop_restarts_scan(
+        self, planned, reference_rows, monkeypatch
+    ):
+        """Kill a worker *while* a scan streams (between chunks): the
+        layout epoch moves, the scan restarts on the degraded layout,
+        and set semantics absorb the re-emitted prefix."""
+        from repro.engine import pipelined as pipelined_module
+
+        cluster, plan, query = planned
+        original = pipelined_module.iter_pattern_rows
+        state = {"fired": False}
+
+        def sabotaged(fragment, pattern):
+            for i, row in enumerate(original(fragment, pattern)):
+                yield row
+                if not state["fired"] and i == 0:
+                    state["fired"] = True
+                    cluster.fail_worker(0)
+
+        monkeypatch.setattr(
+            pipelined_module, "iter_pattern_rows", sabotaged
+        )
+        tracer = Tracer()
+        with obs.activate(tracer):
+            relation, _ = Executor(
+                cluster, engine=PipelinedEngine(chunk_size=1)
+            ).execute(plan, query)
+        assert state["fired"]
+        assert relation.rows == reference_rows.rows
+        assert span_events(tracer, "executor.stream_restart")
