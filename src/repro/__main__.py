@@ -55,6 +55,17 @@ breach prints a structured abort report and exits with status 4.  With
 plan found so far instead of failing.  ``--timeout`` remains as a
 deprecated alias for ``--deadline``.
 
+Adaptive repartitioning (see ``docs/PERFORMANCE.md``)::
+
+    python -m repro run query.sparql --data data.nt --adapt --adapt-every 1
+
+``--adapt`` turns the run into a feedback loop: execution metrics feed
+a :class:`~repro.partitioning.adaptive.RepartitioningAdvisor`, and
+every ``--adapt-every`` observations the session migrates/replicates
+hot fragments on the cluster under ``--replication-budget`` (a
+fraction of the dataset's triples), printing an ``# adaptive:`` footer
+when a round ran.
+
 Every subcommand funnels its flags through one
 :class:`~repro.core.session.OptimizeOptions` builder (see
 ``docs/API.md`` for the flag-to-field mapping), so the CLI and the
@@ -135,6 +146,9 @@ def build_options(args: argparse.Namespace, **overrides) -> OptimizeOptions:
         verify=getattr(args, "verify", False),
         trace=getattr(args, "trace", None) is not None,
         engine=getattr(args, "engine", "reference"),
+        adapt=getattr(args, "adapt", False),
+        adapt_every=getattr(args, "adapt_every", 16),
+        replication_budget=getattr(args, "replication_budget", 0.1),
     )
     fields.update(overrides)
     return OptimizeOptions(**fields)
@@ -258,7 +272,15 @@ def cmd_run(args: argparse.Namespace) -> int:
             context.with_profile(profile_for_algorithm(result.algorithm))
         )
         print("# verify: plan passed invariant verification", file=sys.stderr)
-    cluster = Cluster.build(dataset, method, cluster_size=args.workers)
+    if session.options.adapt:
+        from .partitioning import AdaptiveCluster
+
+        cluster: Cluster = AdaptiveCluster.build(
+            dataset, method, cluster_size=args.workers
+        )
+        session.bind_cluster(cluster)
+    else:
+        cluster = Cluster.build(dataset, method, cluster_size=args.workers)
     injector, policy = _fault_setup(args)
     if args.explain:
         from .engine import explain
@@ -291,7 +313,23 @@ def cmd_run(args: argparse.Namespace) -> int:
             _export_trace(session, args.trace)
             return 4
         for key, value in metrics.summary().items():
-            print(f"# {key}: {value}", file=sys.stderr)
+            if key == "shipped_by_predicate":
+                breakdown = ", ".join(
+                    f"{predicate}={count}" for predicate, count in value.items()
+                )
+                print(f"# {key}: {breakdown}", file=sys.stderr)
+            else:
+                print(f"# {key}: {value}", file=sys.stderr)
+        report = session.observe_execution(query, metrics, budget=budget)
+        if report is not None:
+            print(
+                f"# adaptive: applied={len(report.applied)} "
+                f"skipped={len(report.skipped)} "
+                f"migrations={report.migrations} "
+                f"replicated_triples={report.replicated_triples} "
+                f"epoch={report.epoch}",
+                file=sys.stderr,
+            )
         if metrics.limit_pushdown:
             print(
                 f"# limit-pushdown: stream stopped after {len(relation)} "
@@ -621,6 +659,29 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="retry budget per operator before the run aborts (default 3)",
+    )
+    p_run.add_argument(
+        "--adapt",
+        action="store_true",
+        help="enable workload-adaptive repartitioning: the session mines "
+        "hot predicates and recurring join shapes from execution metrics "
+        "and migrates/replicates fragments under the replication budget",
+    )
+    p_run.add_argument(
+        "--adapt-every",
+        type=int,
+        default=16,
+        dest="adapt_every",
+        help="run an adaptation round every N observed executions "
+        "(default 16; use 1 to adapt after every query)",
+    )
+    p_run.add_argument(
+        "--replication-budget",
+        type=float,
+        default=0.1,
+        dest="replication_budget",
+        help="ceiling on adaptive replication as a fraction of the "
+        "dataset's triples (default 0.1)",
     )
     p_run.set_defaults(func=cmd_run)
 

@@ -34,8 +34,12 @@ from ..lint.diagnostics import Diagnostic, Severity
 from .callgraph import CallGraph, FuncKey, build_call_graph
 from .model import FunctionInfo, ModuleInfo, Project, _terminal_name
 
-#: entry points: the governed public surfaces (qualname match)
-ENTRY_QUALNAMES = frozenset({"Optimizer.optimize", "Executor.execute"})
+#: entry points: the governed public surfaces (qualname match).
+#: ``observe_execution`` drives adaptive repartitioning — its fragment
+#: migration loops run under the same budget envelope as the query.
+ENTRY_QUALNAMES = frozenset(
+    {"Optimizer.optimize", "Executor.execute", "Optimizer.observe_execution"}
+)
 
 #: enumeration/pruning/join code — path suffixes under src/repro
 HOT_SUFFIXES = (
@@ -52,6 +56,7 @@ HOT_SUFFIXES = (
     "engine/mapreduce.py",
     "engine/base.py",
     "engine/pipelined.py",
+    "partitioning/adaptive.py",
 )
 
 #: calls/reads that constitute a budget poll

@@ -189,6 +189,7 @@ class PlanCache:
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        entry["hits"] = int(entry.get("hits", 0)) + 1
         obs.event("plan_cache.lookup", hit=True, algorithm=algorithm)
         obs.count("plan_cache.hits")
         inverse = {canonical: actual for actual, canonical in mapping.items()}
@@ -230,6 +231,30 @@ class PlanCache:
             self.stats.evictions += 1
             obs.count("plan_cache.evictions")
         return key
+
+    def hits_for(
+        self,
+        query: BGPQuery,
+        statistics: StatisticsCatalog,
+        algorithm: str,
+        parameters: CostParameters = PAPER_PARAMETERS,
+        partitioning: Optional[PartitioningMethod] = None,
+    ) -> int:
+        """Accumulated lookup hits for this call's entry (0 when absent).
+
+        Per-entry recurrence evidence for the adaptive repartitioning
+        advisor (:mod:`repro.partitioning.adaptive`): a query shape
+        repeatedly served from the cache recurs even though the
+        optimizer never re-ran.  Does not touch LRU order or the
+        hit/miss statistics — it is a pure read.
+        """
+        key, _ = query_signature(
+            query, statistics, algorithm, parameters, partitioning
+        )
+        entry = self._entries.get(key)
+        if entry is None:
+            return 0
+        return int(entry.get("hits", 0))
 
     def invalidate(
         self,

@@ -32,7 +32,24 @@ from __future__ import annotations
 import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
-from typing import Any, ContextManager, Dict, Iterable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    ContextManager,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine → core)
+    from ..engine.metrics import ExecutionMetrics
+    from ..partitioning.adaptive import (
+        AdaptationReport,
+        AdaptiveCluster,
+        RepartitioningAdvisor,
+    )
 
 from ..observability import Tracer
 from ..observability import runtime as obs
@@ -109,6 +126,16 @@ class OptimizeOptions:
     anytime: bool = False
     #: cooperative cancel flag shared with parallel search drivers
     cancellation: Optional[CancellationToken] = None
+    #: enable workload-adaptive repartitioning: the session owns a
+    #: :class:`~repro.partitioning.adaptive.RepartitioningAdvisor` and
+    #: :meth:`Optimizer.observe_execution` drives the feedback loop
+    #: against a bound :class:`~repro.partitioning.adaptive.AdaptiveCluster`
+    adapt: bool = False
+    #: run an adaptation round every N observed executions
+    adapt_every: int = 16
+    #: ceiling on adaptive replication, as a fraction of the dataset's
+    #: triples (extra stored copies summed across workers)
+    replication_budget: float = 0.1
 
     def __post_init__(self) -> None:
         if self.timeout_seconds is not None:
@@ -199,12 +226,27 @@ class Optimizer:
             raise ValueError(
                 f"unknown engine {base.engine!r}; choose from {list(ENGINES)}"
             )
+        if base.adapt_every < 1:
+            raise ValueError(f"adapt_every must be >= 1, got {base.adapt_every}")
+        if base.replication_budget < 0:
+            raise ValueError(
+                f"replication_budget must be >= 0, got {base.replication_budget}"
+            )
         self.options = base
         self.plan_cache = base.plan_cache
         self.tracer: Optional[Tracer] = Tracer() if base.trace else None
         #: resolved statistics per query object (the strong reference to
         #: the query keeps ``id()`` from being recycled)
         self._statistics: Dict[int, Tuple[BGPQuery, StatisticsCatalog]] = {}
+        #: the adaptive-repartitioning feedback loop (``adapt=True``)
+        self.advisor: Optional["RepartitioningAdvisor"] = None
+        self._adaptive_cluster: Optional["AdaptiveCluster"] = None
+        if base.adapt:
+            # imported lazily: partitioning.adaptive depends on engine,
+            # which depends on core
+            from ..partitioning.adaptive import RepartitioningAdvisor
+
+            self.advisor = RepartitioningAdvisor(adapt_every=base.adapt_every)
 
     # ------------------------------------------------------------------
     # public API
@@ -280,6 +322,96 @@ class Optimizer:
         if self.tracer is None:
             return nullcontext()
         return obs.activate(self.tracer)
+
+    def bind_cluster(self, cluster: "AdaptiveCluster") -> None:
+        """Attach the adaptive cluster this session's feedback loop drives.
+
+        Requires ``OptimizeOptions(adapt=True)``.  When the session has
+        no partitioning configured, the cluster's base method becomes
+        the session partitioning, so the optimizer and the layout agree
+        from the first query on.
+        """
+        if self.advisor is None:
+            raise ValueError(
+                "bind_cluster requires OptimizeOptions(adapt=True)"
+            )
+        self._adaptive_cluster = cluster
+        if self.options.partitioning is None:
+            self.options = self.options.with_overrides(
+                partitioning=cluster.base_method
+            )
+
+    def observe_execution(
+        self,
+        query: BGPQuery,
+        metrics: "ExecutionMetrics",
+        budget: Optional[QueryBudget] = None,
+    ) -> Optional["AdaptationReport"]:
+        """Feed one executed query into the adaptive feedback loop.
+
+        Call once per :meth:`~repro.engine.executor.Executor.execute`
+        with the metrics it returned.  The advisor heats the query's
+        shape and predicates (plan-cache hits count as recurrence);
+        every ``adapt_every`` observations a batch of proposals is
+        applied to the bound cluster under the session's replication
+        budget.  When the batch changes the layout, the session's
+        partitioning is swapped for the cluster's
+        :meth:`~repro.partitioning.adaptive.AdaptiveCluster.adapted_method`,
+        so subsequent optimizations see the hot queries as local and
+        plan-cache keys roll over to the new layout fingerprint.
+
+        Returns the :class:`~repro.partitioning.adaptive.AdaptationReport`
+        when an adaptation round ran, else ``None``.  A no-op unless
+        ``adapt=True``.
+        """
+        advisor = self.advisor
+        if advisor is None:
+            return None
+        with self.tracing():
+            cache_hits = 0
+            if self.plan_cache is not None:
+                statistics = self.resolve_statistics(query)
+                cache_hits = self.plan_cache.hits_for(
+                    query,
+                    statistics,
+                    self.options.algorithm_key,
+                    self.options.parameters,
+                    self.options.partitioning,
+                )
+            advisor.observe(query, metrics, cache_hits=cache_hits)
+            cluster = self._adaptive_cluster
+            if cluster is None or not advisor.due():
+                return None
+            proposals = advisor.propose()
+            if not proposals:
+                return None
+            with obs.span(
+                "adaptive.apply",
+                proposals=len(proposals),
+                epoch=cluster.epoch,
+            ) as sp:
+                report = cluster.apply(
+                    proposals,
+                    replication_budget=self.options.replication_budget,
+                    budget=budget,
+                )
+                advisor.mark_handled(report)
+                if report.changed:
+                    self.options = self.options.with_overrides(
+                        partitioning=cluster.adapted_method()
+                    )
+                    obs.count("adaptive.migrations", report.migrations)
+                    obs.count(
+                        "adaptive.replicated_triples", report.replicated_triples
+                    )
+                sp.set(
+                    applied=len(report.applied),
+                    skipped=len(report.skipped),
+                    migrations=report.migrations,
+                    replicated_triples=report.replicated_triples,
+                    epoch_after=report.epoch,
+                )
+            return report
 
     def optimize_many(self, queries: Iterable[BGPQuery]) -> List[OptimizationResult]:
         """Optimize a batch of queries, reusing all session state.

@@ -17,13 +17,13 @@ original structures untouched.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..partitioning.base import Partitioning, PartitioningMethod, hash_term
 from ..rdf.dataset import Dataset
 from ..rdf.encoding import EncodedGraph, TermDictionary
 from ..rdf.terms import Term
-from ..rdf.triples import RDFGraph
+from ..rdf.triples import RDFGraph, Triple
 
 
 class Cluster:
@@ -118,8 +118,14 @@ class Cluster:
         return self._override.get(worker, self.workers[worker])
 
     def worker_graphs(self) -> List[RDFGraph]:
-        """Per-slot effective graphs; the original list while healthy."""
-        if not self._dead:
+        """Per-slot effective graphs; the original list while pristine.
+
+        The fast path keys on overrides, not liveness: adaptive
+        migration (:mod:`repro.partitioning.adaptive`) merges replicas
+        into *healthy* workers, and those placements must be visible to
+        scans exactly like a re-routed partition is.
+        """
+        if not self._override:
             return self.workers
         return [self.worker_graph(i) for i in range(self.size)]
 
@@ -152,14 +158,33 @@ class Cluster:
         """Per-slot encoded fragments under the current liveness state."""
         return [self.worker_fragment(i) for i in range(self.size)]
 
+    def merge_replica(self, worker: int, triples: Iterable[Triple]) -> int:
+        """Merge *triples* into the graph *worker* serves; count additions.
+
+        The shared replica primitive behind fail-stop re-routing and
+        adaptive migration (:mod:`repro.partitioning.adaptive`): the
+        worker's served graph is rebuilt as a copy (so
+        ``partitioning.node_graphs`` — the durable replica — is never
+        mutated) and its encoded fragment is invalidated, forcing the
+        next columnar scan to re-encode from the merged graph (the
+        simulated replica re-scan).  Does **not** bump the epoch; the
+        caller owns the batching of layout changes.
+        """
+        merged = RDFGraph(self.worker_graph(worker))
+        added = merged.add_all(triples)
+        self._override[worker] = merged
+        self._fragments.pop(worker, None)
+        return added
+
     def fail_worker(self, worker: int) -> Tuple[int, int]:
         """Crash *worker* and re-route its partition in degraded mode.
 
         The lost partition (recovered from the durable replica — the
         partitioning's untouched node graph, plus anything a previous
-        re-route already merged into this worker) is merged into the
-        next live worker's graph.  Returns ``(target, triples_moved)``
-        so the caller can price the replica re-scan.
+        re-route or adaptive migration already merged into this worker)
+        is merged into the next live worker's graph.  Returns
+        ``(target, triples_moved)`` so the caller can price the replica
+        re-scan.
         """
         if not 0 <= worker < self.size:
             raise ValueError(f"no such worker {worker} (cluster size {self.size})")
@@ -171,14 +196,9 @@ class Cluster:
         self._dead.add(worker)
         live = self.live_workers
         target = next((i for i in live if i > worker), live[0])
-        merged = RDFGraph(self.worker_graph(target))
-        merged.add_all(lost_graph)
+        self.merge_replica(target, lost_graph)
         self._override[worker] = RDFGraph()
-        self._override[target] = merged
-        # encoded fragments of the two affected workers are stale; the
-        # next columnar scan re-encodes them from the degraded graphs
         self._fragments.pop(worker, None)
-        self._fragments.pop(target, None)
         self.epoch += 1
         return target, len(lost_graph)
 

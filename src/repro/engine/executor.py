@@ -28,7 +28,7 @@ executor takes exactly the historical zero-overhead path.
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis → core)
     from ..analysis.plan_verifier import PlanVerifier
@@ -64,6 +64,23 @@ from .relations import Relation, multi_join, scan_pattern
 from . import pipelined as _pipelined  # noqa: F401  (registration side effect)
 
 DistributedRelation = List[Relation]
+
+
+def _subtree_predicates(node: PlanNode) -> List[str]:
+    """Sorted predicate labels of the scans under *node*.
+
+    Variable predicates label as ``"?<name>"``.  Used to attribute one
+    shipped input's tuple count to the predicates whose data it
+    carries (see ``OperatorMetrics.shipped_by_predicate``).
+    """
+    labels = {
+        f"?{leaf.pattern.predicate.name}"
+        if isinstance(leaf.pattern.predicate, Variable)
+        else str(leaf.pattern.predicate)
+        for leaf in node.leaves()
+        if leaf.pattern is not None
+    }
+    return sorted(labels)
 
 
 class ExecutionError(RuntimeError):
@@ -310,6 +327,11 @@ class Executor:
         registry.histogram("engine.simulated_time").observe(
             metrics.critical_path_cost
         )
+        breakdown = sorted(metrics.shipped_by_predicate.items())
+        for predicate, count in breakdown:
+            registry.counter(
+                f"engine.tuples_shipped.predicate.{predicate}"
+            ).inc(count)
 
     # ------------------------------------------------------------------
     # node evaluation
@@ -435,11 +457,16 @@ class Executor:
         largest = max(range(len(children)), key=lambda i: sizes[i])
         broadcast: List[Relation] = []
         shipped = 0
+        by_predicate: Dict[str, int] = {}
         for i, child in enumerate(children):  # lint: disable=LINT014 operator-boundary cadence: _govern charges rows and polls after every operator
             if i == largest:
                 continue
             collected = self._collect(child)
-            shipped += len(collected) * self.cluster.live_size
+            moved = len(collected) * self.cluster.live_size
+            shipped += moved
+            predicates = _subtree_predicates(node.children[i])
+            for predicate in predicates:
+                by_predicate[predicate] = by_predicate.get(predicate, 0) + moved
             broadcast.append(collected)
         result: DistributedRelation = []
         for worker in range(self.cluster.size):
@@ -452,6 +479,7 @@ class Executor:
             tuples_read=read,
             tuples_shipped=shipped,
             tuples_produced=sum(len(r) for r in result),
+            shipped_by_predicate=by_predicate,
         )
         return result, op
 
@@ -462,10 +490,12 @@ class Executor:
         variable = node.join_variable or self._common_variable(children)
         read = sum(len(r) for child in children for r in child)
         shipped = 0
+        by_predicate: Dict[str, int] = {}
         route = self._route
         repartitioned: List[List[Relation]] = []
-        for child in children:  # lint: disable=LINT014 operator-boundary cadence: _govern charges rows and polls after every operator
+        for index, child in enumerate(children):  # lint: disable=LINT014 operator-boundary cadence: _govern charges rows and polls after every operator
             buckets = [child[0].empty_like() for _ in range(self.cluster.size)]
+            child_shipped = 0
             for relation in child:  # lint: disable=LINT014 operator-boundary cadence: _govern charges rows and polls after every operator
                 if not relation.has_variable(variable):
                     raise ExecutionError(
@@ -475,7 +505,13 @@ class Executor:
                 for row in relation.rows:
                     target = route(row[position])
                     buckets[target].rows.add(row)
-                    shipped += 1
+                    child_shipped += 1
+            shipped += child_shipped
+            predicates = _subtree_predicates(node.children[index])
+            for predicate in predicates:
+                by_predicate[predicate] = (
+                    by_predicate.get(predicate, 0) + child_shipped
+                )
             repartitioned.append(buckets)
         result: DistributedRelation = []
         for worker in range(self.cluster.size):
@@ -488,6 +524,7 @@ class Executor:
             tuples_read=read,
             tuples_shipped=shipped,
             tuples_produced=sum(len(r) for r in result),
+            shipped_by_predicate=by_predicate,
         )
         return result, op
 

@@ -40,6 +40,14 @@ class OperatorMetrics:
     retries: int = 0
     faults_injected: int = 0
     recovery_cost: float = 0.0
+    #: ``tuples_shipped`` attributed to the scan predicates under each
+    #: shipped input ("?x" for variable predicates).  An input covering
+    #: several predicates credits its full count to each of them, so
+    #: the breakdown can sum to more than ``tuples_shipped`` — it
+    #: answers "which predicates' data moved", not "how do the bytes
+    #: split".  Populated by the materialized engines; streaming
+    #: operators price their own topology and leave it empty.
+    shipped_by_predicate: Dict[str, int] = field(default_factory=dict)
 
     def simulated_cost(self, parameters: CostParameters) -> float:
         """Price this operator with Table I using actual counts."""
@@ -117,6 +125,21 @@ class ExecutionMetrics:
         return sum(op.tuples_produced for op in self.operators)
 
     @property
+    def shipped_by_predicate(self) -> Dict[str, int]:
+        """Per-predicate shipped-tuples attribution, merged over operators.
+
+        See :attr:`OperatorMetrics.shipped_by_predicate` for the
+        attribution rule (an operator may credit one shipment to
+        several predicates).  Empty when nothing was shipped or the
+        engine does not attribute shipments (streaming).
+        """
+        merged: Dict[str, int] = {}
+        for op in self.operators:
+            for predicate, count in op.shipped_by_predicate.items():
+                merged[predicate] = merged.get(predicate, 0) + count
+        return merged
+
+    @property
     def total_retries(self) -> int:
         """Σ failed attempts that were re-run across all operators."""
         return sum(op.retries for op in self.operators)
@@ -145,6 +168,11 @@ class ExecutionMetrics:
             "wall_seconds": self.wall_seconds,
             "simulated_time": self.critical_path_cost,
         }
+        breakdown = self.shipped_by_predicate
+        if breakdown:
+            data["shipped_by_predicate"] = dict(
+                sorted(breakdown.items(), key=lambda kv: (-kv[1], kv[0]))
+            )
         if self.first_row_seconds is not None:
             data["first_row_seconds"] = self.first_row_seconds
         if self.peak_buffered_rows:

@@ -7,7 +7,9 @@ from repro.core import JoinGraph, LocalQueryIndex, StatisticsCatalog, optimize
 from repro.core import bitset as bs
 from repro.engine import Cluster, Executor, evaluate_reference
 from repro.partitioning import DynamicPartitioning, HashSubjectObject
+from repro.partitioning.dynamic import _instantiate, hot_query_matches
 from repro.rdf import Dataset, triple
+from repro.sparql.ast import BGPQuery
 
 
 @pytest.fixture
@@ -92,3 +94,61 @@ class TestDataSide:
     def test_name_reflects_configuration(self):
         method = DynamicPartitioning(HashSubjectObject(), [])
         assert method.name == "dynamic(hash-so+0hot)"
+
+
+class TestEncodedHotMatching:
+    """The encoded/columnar hot-query matcher must be a drop-in for the
+    reference-evaluation path it replaced: same matches, same layout."""
+
+    def _reference_matches(self, dataset, hot):
+        """The old `evaluate_reference`-based matching, inlined."""
+        bindings = evaluate_reference(
+            BGPQuery(hot.patterns, projection=None, name=hot.name),
+            dataset.graph,
+        )
+        matches = []
+        for binding in bindings.bindings():
+            anchor = min(binding.values(), key=str)
+            grounded = []
+            for tp in hot.patterns:
+                t = _instantiate(tp, binding)
+                if t is not None and t in dataset.graph:
+                    grounded.append(t)
+            matches.append((anchor, grounded))
+        return matches
+
+    def _canonical(self, matches):
+        return sorted(
+            (str(anchor), sorted(map(str, triples))) for anchor, triples in matches
+        )
+
+    def test_matches_identical_to_reference_path(self, chain_data, chain_query_3):
+        encoded = hot_query_matches(chain_data, chain_query_3)
+        reference = self._reference_matches(chain_data, chain_query_3)
+        assert self._canonical(encoded) == self._canonical(reference)
+        assert len(encoded) == 30  # one match per chain
+
+    def test_matches_identical_on_lubm(self):
+        from repro.workloads import generate_lubm, lubm_query
+
+        dataset = generate_lubm()
+        hot = lubm_query("L7")
+        encoded = hot_query_matches(dataset, hot)
+        reference = self._reference_matches(dataset, hot)
+        assert self._canonical(encoded) == self._canonical(reference)
+        assert encoded  # L7 has matches on the generated data
+
+    def test_partition_layout_unchanged(self, chain_data, chain_query_3):
+        """The produced node graphs are bit-identical to replicating the
+        reference-path matches by hand."""
+        from repro.partitioning.base import hash_term
+
+        cluster_size = 4
+        method = DynamicPartitioning(HashSubjectObject(), [chain_query_3])
+        layout = method.partition(chain_data, cluster_size)
+        expected = HashSubjectObject().partition(chain_data, cluster_size)
+        for anchor, triples in self._reference_matches(chain_data, chain_query_3):
+            expected.node_graphs[hash_term(anchor, cluster_size)].add_all(triples)
+        assert [set(g) for g in layout.node_graphs] == [
+            set(g) for g in expected.node_graphs
+        ]

@@ -179,7 +179,7 @@ class TestMetrics:
         assert metrics.total_tuples_read > 0
         assert metrics.wall_seconds > 0
         summary = metrics.summary()
-        assert set(summary) == {
+        expected = {
             "result_rows",
             "tuples_read",
             "tuples_shipped",
@@ -188,3 +188,6 @@ class TestMetrics:
             "simulated_time",
             "first_row_seconds",
         }
+        if metrics.total_tuples_shipped:
+            expected.add("shipped_by_predicate")
+        assert set(summary) == expected

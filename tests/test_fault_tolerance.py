@@ -27,7 +27,13 @@ from repro.engine import (
     Transient,
     evaluate_reference,
 )
-from repro.partitioning import HashSubjectObject
+from repro.partitioning import (
+    AdaptiveCluster,
+    DynamicPartitioning,
+    HashSubjectObject,
+    MigrationProposal,
+)
+from repro.partitioning.adaptive import COLOCATE
 from repro.partitioning.base import Partitioning
 from repro.rdf import Dataset, IRI, triple
 from repro.rdf.terms import Variable
@@ -510,3 +516,50 @@ class TestCircuitBreaker:
         cluster.heal()  # the heal listener closes the breaker again
         assert breaker.open_workers == []
         assert breaker.trips >= 1
+
+
+class TestHotReplicaSurvival:
+    """Hot-query placements — static (DynamicPartitioning) or migrated
+    online (AdaptiveCluster.apply) — are part of a worker's served
+    graph, so fail-stop re-routing must carry them to the re-route
+    target exactly like base partitions."""
+
+    def test_dynamic_hot_layout_survives_worker_death(self, lubm):
+        dataset, query, _, _, reference = lubm
+        method = DynamicPartitioning(HashSubjectObject(), [query])
+        statistics = StatisticsCatalog.from_dataset(query, dataset)
+        plan = optimize(query, statistics=statistics, partitioning=method).plan
+        for victim in range(3):
+            cluster = Cluster.build(dataset, method, cluster_size=3)
+            _, healthy = Executor(cluster).execute(plan, query)
+            assert healthy.total_tuples_shipped == 0  # co-located: all local
+            cluster.fail_worker(victim)
+            relation, _ = Executor(cluster).execute(plan, query)
+            assert relation.rows == reference.rows
+
+    def test_adaptive_placements_survive_worker_death(self, lubm):
+        dataset, query, method, _, reference = lubm
+        cluster = AdaptiveCluster.build(dataset, method, cluster_size=3)
+        report = cluster.apply(
+            [
+                MigrationProposal(
+                    kind=COLOCATE, key="hot-L7", heat=1.0, query=query
+                )
+            ],
+            replication_budget=1.0,
+        )
+        assert report.changed
+        statistics = StatisticsCatalog.from_dataset(query, dataset)
+        plan = optimize(
+            query, statistics=statistics, partitioning=cluster.adapted_method()
+        ).plan
+        _, adapted = Executor(cluster).execute(plan, query)
+        assert adapted.total_tuples_shipped == 0
+
+        victim = 0
+        placed = set(cluster._adaptive_layout.get(victim, []))
+        target, _ = cluster.fail_worker(victim)
+        relation, _ = Executor(cluster).execute(plan, query)
+        assert relation.rows == reference.rows
+        # the victim's migrated fragments now live on the re-route target
+        assert placed <= set(cluster.worker_graph(target))
